@@ -1,0 +1,25 @@
+"""Figure 7 benchmark: throughput vs maximum aggregation size (1-hop UDP)."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_UDP_DURATION, run_once
+
+from repro.experiments import fig07_aggregation_size
+
+
+def test_fig07_threshold_and_collapse(benchmark):
+    result = run_once(benchmark, fig07_aggregation_size.run,
+                      rates_mbps=(0.65, 1.3), sizes_kb=(2, 4, 5, 6, 8, 12),
+                      duration=BENCH_UDP_DURATION)
+    print(result.to_text())
+
+    series_065 = result.get_series("0.65 Mbps")
+    series_13 = result.get_series("1.3 Mbps")
+    # Throughput rises with aggregation size up to the 0.65 Mbps threshold (5 KB)...
+    assert series_065.value_at(5) > series_065.value_at(2)
+    # ...and collapses once the 120 Ksample coherence limit is crossed.
+    assert series_065.value_at(8) < 0.3 * series_065.value_at(5)
+    # At 1.3 Mbps the threshold sits higher (the paper reports ~11 KB), so 8 KB still works.
+    assert series_13.value_at(8) > 0.5 * series_13.value_at(5)
+    # The paper picks 5 KB as the operating point: it must be usable at both rates.
+    assert result.metrics["peak_size_kb_0.65"] >= 4

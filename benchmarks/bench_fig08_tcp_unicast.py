@@ -1,0 +1,27 @@
+"""Figure 8 benchmark: TCP throughput vs rate, unicast aggregation vs none."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_FILE_BYTES, run_once
+
+from repro.experiments import fig08_tcp_unicast
+
+
+def test_fig08_ua_beats_na_and_gap_grows_with_rate(benchmark):
+    result = run_once(benchmark, fig08_tcp_unicast.run,
+                      rates_mbps=(0.65, 2.6), hops_list=(2, 3),
+                      file_bytes=BENCH_FILE_BYTES)
+    print(result.to_text())
+
+    for hops in (2, 3):
+        na = result.get_series(f"NA {hops}-hop")
+        ua = result.get_series(f"UA {hops}-hop")
+        # UA wins at every rate on both paths.
+        for rate in (0.65, 2.6):
+            assert ua.value_at(rate) > na.value_at(rate)
+        # The relative gap grows with the data rate.
+        gap_low = ua.value_at(0.65) / na.value_at(0.65)
+        gap_high = ua.value_at(2.6) / na.value_at(2.6)
+        assert gap_high > gap_low
+    # Throughput drops when adding a hop (3 hops share the same collision domain).
+    assert result.get_series("UA 3-hop").value_at(2.6) < result.get_series("UA 2-hop").value_at(2.6)

@@ -1,0 +1,27 @@
+"""Figure 10 benchmark: BA with pinned broadcast rates vs UA."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_FILE_BYTES, run_once
+
+from repro.experiments import fig10_fixed_broadcast_rate
+
+
+def test_fig10_slow_pinned_broadcast_rate_hurts_at_high_unicast_rates(benchmark):
+    result = run_once(benchmark, fig10_fixed_broadcast_rate.run,
+                      unicast_rates_mbps=(0.65, 2.6), broadcast_rates_mbps=(0.65, 2.6),
+                      file_bytes=BENCH_FILE_BYTES)
+    print(result.to_text())
+
+    ua = result.get_series("UA")
+    slow_pin = result.get_series("BA (bcast 0.65 Mbps)")
+    fast_pin = result.get_series("BA (bcast 2.6 Mbps)")
+
+    # Broadcasting ACKs at 0.65 Mbps is fine when the unicast rate is 0.65 Mbps...
+    assert slow_pin.value_at(0.65) >= 0.95 * ua.value_at(0.65)
+    # ...but at 2.6 Mbps unicast the slow broadcast portion drags BA down to (or below) UA.
+    assert slow_pin.value_at(2.6) <= 1.02 * ua.value_at(2.6)
+    # Pinning the broadcast rate high keeps BA ahead of UA across the range.
+    assert fast_pin.value_at(2.6) > ua.value_at(2.6)
+    # And the fast pin dominates the slow pin at the high unicast rate.
+    assert fast_pin.value_at(2.6) > slow_pin.value_at(2.6)

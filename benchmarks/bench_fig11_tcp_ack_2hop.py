@@ -1,0 +1,24 @@
+"""Figure 11 benchmark: 2-hop TCP, BA (same-rate broadcasts) vs UA vs NA."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_FILE_BYTES, run_once
+
+from repro.experiments import fig11_tcp_ack_2hop
+
+
+def test_fig11_ba_beats_ua_beats_na(benchmark):
+    result = run_once(benchmark, fig11_tcp_ack_2hop.run,
+                      rates_mbps=(0.65, 1.3, 2.6), file_bytes=BENCH_FILE_BYTES)
+    print(result.to_text())
+
+    na = result.get_series("NA")
+    ua = result.get_series("UA")
+    ba = result.get_series("BA")
+    for rate in (0.65, 1.3, 2.6):
+        assert ba.value_at(rate) >= ua.value_at(rate)
+        assert ua.value_at(rate) > na.value_at(rate)
+    # Throughput increases with the PHY rate for every variant.
+    assert ba.value_at(2.6) > ba.value_at(0.65)
+    # The BA-over-UA gap is a single-digit-to-~10% effect, as in the paper.
+    assert 0.0 <= result.metrics["max_gap_ba_over_ua_percent"] < 30.0

@@ -1,0 +1,25 @@
+"""Figure 12 benchmark: TCP over the 3-hop chain and the star topology."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_FILE_BYTES, run_once
+
+from repro.experiments import fig12_topologies
+
+
+def test_fig12_ba_gap_grows_with_topology_complexity(benchmark):
+    result = run_once(benchmark, fig12_topologies.run,
+                      rates_mbps=(1.3, 2.6), file_bytes=BENCH_FILE_BYTES,
+                      include_no_aggregation=True)
+    print(result.to_text())
+
+    for topology in ("3-hop", "star"):
+        ua = result.get_series(f"UA {topology}")
+        ba = result.get_series(f"BA {topology}")
+        for rate in (1.3, 2.6):
+            assert ba.value_at(rate) >= 0.98 * ua.value_at(rate)
+        assert result.metrics[f"max_gap_percent_{topology}"] > 0.0
+    # No aggregation stays the slowest option over 3 hops.
+    na = result.get_series("NA 3-hop")
+    ua3 = result.get_series("UA 3-hop")
+    assert na.value_at(2.6) < ua3.value_at(2.6)

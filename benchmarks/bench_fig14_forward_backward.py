@@ -1,0 +1,23 @@
+"""Figure 14 benchmark: BA vs BA without forward aggregation (3-hop TCP)."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_FILE_BYTES, run_once
+
+from repro.experiments import fig14_forward_backward
+
+
+def test_fig14_forward_aggregation_matters_more_at_high_rates(benchmark):
+    result = run_once(benchmark, fig14_forward_backward.run,
+                      rates_mbps=(0.65, 2.6), hops=3, file_bytes=BENCH_FILE_BYTES)
+    print(result.to_text())
+
+    full = result.get_series("BA")
+    backward_only = result.get_series("BA no-forward")
+    na = result.get_series("NA")
+    # Full BA dominates backward-only BA, which still beats no aggregation.
+    assert full.value_at(2.6) > backward_only.value_at(2.6)
+    assert backward_only.value_at(2.6) > na.value_at(2.6)
+    # The gap between BA and backward-only grows with the unicast rate.
+    assert (result.metrics["gap_percent_at_highest_rate"]
+            > result.metrics["gap_percent_at_lowest_rate"])

@@ -1,0 +1,33 @@
+"""Table 3 benchmark: 2-hop relay-node frame size, transmissions and size overhead."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_FILE_BYTES, run_once
+
+from repro.experiments import table03_relay_detail
+
+
+def test_table03_relay_detail_trends(benchmark):
+    result = run_once(benchmark, table03_relay_detail.run,
+                      rate_mbps=1.3, file_bytes=BENCH_FILE_BYTES)
+    print(result.to_text())
+
+    frame = {name: result.metrics[f"frame_size_{name}"] for name in ("NA", "UA", "BA", "DBA")}
+    tx = {name: result.metrics[f"tx_percent_{name}"] for name in ("NA", "UA", "BA", "DBA")}
+    overhead = {name: result.metrics[f"size_overhead_percent_{name}"]
+                for name in ("NA", "UA", "BA", "DBA")}
+
+    # Paper Table 3 ordering: frame size NA < UA <= BA <= DBA.
+    assert frame["NA"] < frame["UA"]
+    assert frame["UA"] <= frame["BA"] * 1.05
+    assert frame["BA"] <= frame["DBA"] * 1.05
+    # NA averages near the (1464 + 160)/2 mix; aggregation roughly triples it.
+    assert 500 < frame["NA"] < 1100
+    assert frame["UA"] > 2 * frame["NA"]
+    # Transmissions: NA = 100%, aggregation cuts them to well below half.
+    assert tx["NA"] == 100.0
+    assert tx["UA"] < 50.0
+    assert tx["BA"] <= tx["UA"]
+    assert tx["DBA"] <= tx["BA"] * 1.1
+    # Size overhead shrinks monotonically with more aggressive aggregation.
+    assert overhead["NA"] > overhead["UA"] >= overhead["BA"] * 0.95

@@ -1,0 +1,26 @@
+"""Table 4 benchmark: relay-node time overhead vs data rate."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_FILE_BYTES, run_once
+
+from repro.experiments import table04_time_overhead
+
+
+def test_table04_overhead_grows_with_rate_and_shrinks_with_aggregation(benchmark):
+    result = run_once(benchmark, table04_time_overhead.run,
+                      rates_mbps=(0.65, 2.6), file_bytes=BENCH_FILE_BYTES)
+    print(result.to_text())
+
+    overhead = {(name, rate): result.metrics[f"time_overhead_{name}_{rate}"]
+                for name in ("NA", "UA", "BA", "DBA") for rate in (0.65, 2.6)}
+
+    # Overhead grows with the data rate for every variant (paper: 22% -> 52% for NA).
+    for name in ("NA", "UA", "BA", "DBA"):
+        assert overhead[(name, 2.6)] > overhead[(name, 0.65)]
+    # Aggregation cuts the overhead substantially at both rates.
+    for rate in (0.65, 2.6):
+        assert overhead[("UA", rate)] < overhead[("NA", rate)]
+        assert overhead[("BA", rate)] <= overhead[("UA", rate)] * 1.05
+    # The no-aggregation overhead at 2.6 Mbps is dominant (paper: ~52%).
+    assert overhead[("NA", 2.6)] > 35.0

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Broadcast aggregation under flooding (the Figure 9 scenario).
+
+A saturating UDP flow crosses a 2-hop chain while every node floods broadcast
+control frames (as a routing protocol would during route discovery).  The
+script sweeps the flooding interval and compares full aggregation against no
+aggregation, showing how aggregation absorbs the flooding overhead.
+
+Run with::
+
+    python examples/flooding_scenario.py
+"""
+
+from __future__ import annotations
+
+from repro import broadcast_aggregation, no_aggregation
+from repro.experiments import run_udp_saturation
+
+
+def main() -> None:
+    rate_mbps = 1.3
+    print(f"2-hop saturating UDP at {rate_mbps} Mbps with per-node flooding")
+    print(f"{'flood interval':>16} {'aggregation':>14} {'no aggregation':>16} {'gap':>8}")
+    for interval in (0.25, 0.5, 1.0, 2.0, 5.0):
+        aggregated = run_udp_saturation(broadcast_aggregation(), hops=2, rate_mbps=rate_mbps,
+                                        duration=12.0, flooding_interval=interval, seed=7)
+        plain = run_udp_saturation(no_aggregation(), hops=2, rate_mbps=rate_mbps,
+                                   duration=12.0, flooding_interval=interval, seed=7)
+        gap = aggregated.throughput_mbps - plain.throughput_mbps
+        print(f"{interval:>14.2f}s {aggregated.throughput_mbps:>12.3f}Mb "
+              f"{plain.throughput_mbps:>14.3f}Mb {gap:>7.3f}Mb")
+
+    # Show how much of the aggregated traffic was flooding riding along for free.
+    relay = aggregated.network.node(2).mac_stats
+    print("\nrelay node with aggregation (0.25 s flooding):")
+    print(f"  data transmissions        : {relay.data_transmissions}")
+    print(f"  broadcast subframes sent  : {relay.broadcast_subframes_sent}")
+    print(f"  unicast subframes sent    : {relay.unicast_subframes_sent}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Application-level traffic sources and sinks used by the experiments."""
+
+from repro.apps.cbr import CbrSource, UdpSink
+from repro.apps.file_transfer import FileTransferReceiver, FileTransferSender, run_file_transfer_pair
+from repro.net.flooding import FloodingSource
+
+__all__ = [
+    "CbrSource",
+    "UdpSink",
+    "FileTransferSender",
+    "FileTransferReceiver",
+    "run_file_transfer_pair",
+    "FloodingSource",
+]

@@ -1,0 +1,146 @@
+"""The shared wireless medium.
+
+:class:`WirelessChannel` connects every :class:`~repro.phy.device.Phy` in a
+scenario.  When a PHY transmits, the channel computes the received power at
+every other PHY from the propagation model and delivers *begin-reception* and
+*end-reception* events after the (negligible but modelled) propagation delay.
+Collision and capture decisions are the receiving PHY's job; the channel only
+reports who hears what, and how loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.channel.propagation import PropagationModel, distance_between, hydra_indoor_propagation
+from repro.errors import ConfigurationError
+from repro.phy.frame import PhyFrame
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.phy.device import Phy
+
+#: Speed of light in metres per second (propagation delay).
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass
+class Transmission:
+    """One frame in flight on the medium."""
+
+    sender: "Phy"
+    frame: PhyFrame
+    start_time: float
+    duration: float
+    power_dbm: float
+
+    @property
+    def end_time(self) -> float:
+        """Simulated time at which the transmission ends."""
+        return self.start_time + self.duration
+
+
+class WirelessChannel:
+    """Single shared broadcast medium connecting all registered PHYs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: Optional[PropagationModel] = None,
+        noise_floor_dbm: float = -94.0,
+        propagation_delay_enabled: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation or hydra_indoor_propagation()
+        self.noise_floor_dbm = noise_floor_dbm
+        self.propagation_delay_enabled = propagation_delay_enabled
+        self._phys: List["Phy"] = []
+        self.active_transmissions: List[Transmission] = []
+        # statistics
+        self.total_transmissions = 0
+        self.total_airtime = 0.0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, phy: "Phy") -> None:
+        """Attach a PHY to the medium (idempotent)."""
+        if phy not in self._phys:
+            self._phys.append(phy)
+
+    def unregister(self, phy: "Phy") -> None:
+        """Detach a PHY from the medium."""
+        if phy in self._phys:
+            self._phys.remove(phy)
+
+    @property
+    def phys(self) -> List["Phy"]:
+        """All PHYs currently attached."""
+        return list(self._phys)
+
+    # ------------------------------------------------------------------
+    # Link budget helpers
+    # ------------------------------------------------------------------
+    def received_power_dbm(self, sender: "Phy", receiver: "Phy", tx_power_dbm: float) -> float:
+        """Received power at ``receiver`` for a transmission by ``sender``."""
+        loss = self.propagation.path_loss_db(sender.position, receiver.position)
+        return tx_power_dbm - loss
+
+    def link_snr_db(self, sender: "Phy", receiver: "Phy",
+                    tx_power_dbm: Optional[float] = None) -> float:
+        """Nominal SNR of the ``sender`` → ``receiver`` link (no interference)."""
+        power = sender.config.tx_power_dbm if tx_power_dbm is None else tx_power_dbm
+        return self.received_power_dbm(sender, receiver, power) - self.noise_floor_dbm
+
+    def propagation_delay(self, sender: "Phy", receiver: "Phy") -> float:
+        """One-way propagation delay between two PHYs."""
+        if not self.propagation_delay_enabled:
+            return 0.0
+        return distance_between(sender.position, receiver.position) / SPEED_OF_LIGHT
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def broadcast(self, sender: "Phy", frame: PhyFrame, duration: float,
+                  power_dbm: float) -> Transmission:
+        """Deliver ``frame`` from ``sender`` to every other registered PHY."""
+        if sender not in self._phys:
+            raise ConfigurationError("transmitting PHY is not registered with the channel")
+        if duration <= 0:
+            raise ConfigurationError(f"transmission duration must be positive, got {duration}")
+        transmission = Transmission(
+            sender=sender,
+            frame=frame,
+            start_time=self.sim.now,
+            duration=duration,
+            power_dbm=power_dbm,
+        )
+        self.active_transmissions.append(transmission)
+        self.total_transmissions += 1
+        self.total_airtime += duration
+        self.sim.schedule(duration, self._retire_transmission, transmission,
+                          priority=Simulator.PRIORITY_PHY)
+
+        for receiver in self._phys:
+            if receiver is sender:
+                continue
+            rx_power = self.received_power_dbm(sender, receiver, power_dbm)
+            delay = self.propagation_delay(sender, receiver)
+            self.sim.schedule(delay, receiver.begin_reception, transmission, rx_power,
+                              priority=Simulator.PRIORITY_PHY)
+            self.sim.schedule(delay + duration, receiver.end_reception, transmission,
+                              priority=Simulator.PRIORITY_PHY)
+        return transmission
+
+    def _retire_transmission(self, transmission: Transmission) -> None:
+        if transmission in self.active_transmissions:
+            self.active_transmissions.remove(transmission)
+
+    @property
+    def busy(self) -> bool:
+        """True while any transmission is on the air."""
+        return bool(self.active_transmissions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WirelessChannel phys={len(self._phys)} active={len(self.active_transmissions)}>"

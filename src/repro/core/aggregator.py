@@ -1,0 +1,182 @@
+"""Transmit-side frame aggregation.
+
+When the DCF acquires the floor, the MAC asks the :class:`Aggregator` to
+assemble the next physical frame from its two transmit queues (Section 4.2.3
+of the paper):
+
+1. the broadcast queue is drained first (flooding frames and classified pure
+   TCP ACKs), putting the broadcast subframes closest to the PHY training
+   sequences where they are least exposed to channel aging;
+2. then unicast subframes destined to the *same receiver* as the head of the
+   unicast queue are gathered;
+3. the total is bounded by the policy's maximum aggregation size.
+
+A retransmission preserves the unicast portion of the failed aggregate (those
+subframes still need their link-level ACK) — the broadcast portion is never
+retransmitted because it was already sent unacknowledged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.policies import AggregationPolicy
+from repro.errors import AggregationError
+from repro.phy.frame import PhyFrame
+from repro.phy.rates import PhyRate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mac.addresses import MacAddress
+    from repro.mac.frames import MacSubframe
+    from repro.mac.queues import TransmitQueues
+
+
+@dataclass
+class AggregateBuild:
+    """The result of one aggregation pass: the contents of the next frame."""
+
+    broadcast_subframes: List["MacSubframe"] = field(default_factory=list)
+    unicast_subframes: List["MacSubframe"] = field(default_factory=list)
+    destination: Optional["MacAddress"] = None
+
+    @property
+    def empty(self) -> bool:
+        """True when there is nothing to transmit."""
+        return not self.broadcast_subframes and not self.unicast_subframes
+
+    @property
+    def has_unicast(self) -> bool:
+        """True when the frame needs a link-level ACK."""
+        return bool(self.unicast_subframes)
+
+    @property
+    def broadcast_bytes(self) -> int:
+        """Size of the broadcast portion."""
+        return sum(sf.size_bytes for sf in self.broadcast_subframes)
+
+    @property
+    def unicast_bytes(self) -> int:
+        """Size of the unicast portion."""
+        return sum(sf.size_bytes for sf in self.unicast_subframes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total MAC bytes in the aggregate."""
+        return self.broadcast_bytes + self.unicast_bytes
+
+    @property
+    def subframe_count(self) -> int:
+        """Number of subframes in the aggregate."""
+        return len(self.broadcast_subframes) + len(self.unicast_subframes)
+
+    def to_phy_frame(self, unicast_rate: PhyRate,
+                     broadcast_rate: Optional[PhyRate] = None) -> PhyFrame:
+        """Convert the build into a :class:`~repro.phy.frame.PhyFrame`."""
+        if self.empty:
+            raise AggregationError("cannot build a PHY frame from an empty aggregate")
+        return PhyFrame.data(
+            broadcast_subframes=self.broadcast_subframes,
+            unicast_subframes=self.unicast_subframes,
+            unicast_rate=unicast_rate,
+            broadcast_rate=broadcast_rate,
+        )
+
+    def without_broadcast_portion(self) -> "AggregateBuild":
+        """Copy of the build keeping only the unicast portion (retransmissions)."""
+        return AggregateBuild(
+            broadcast_subframes=[],
+            unicast_subframes=list(self.unicast_subframes),
+            destination=self.destination,
+        )
+
+
+class Aggregator:
+    """Builds aggregated frames according to an :class:`AggregationPolicy`."""
+
+    def __init__(self, policy: AggregationPolicy) -> None:
+        self.policy = policy
+        self.builds = 0
+        self.subframes_aggregated = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def build(self, queues: "TransmitQueues",
+              preserved_unicast: Optional[List["MacSubframe"]] = None) -> AggregateBuild:
+        """Assemble the next aggregate, removing the chosen subframes from ``queues``.
+
+        ``preserved_unicast`` carries the unicast portion of a failed exchange
+        that must be retransmitted; it is reused verbatim (no new unicast
+        subframes are added to it) and only a fresh broadcast portion may be
+        prepended, if the policy mixes broadcast and unicast traffic.
+        """
+        policy = self.policy
+        build = AggregateBuild()
+        budget = policy.max_aggregate_bytes
+
+        if preserved_unicast:
+            build.unicast_subframes = list(preserved_unicast)
+            build.destination = preserved_unicast[0].dst
+            budget -= build.unicast_bytes
+            if policy.mixes_broadcast_and_unicast:
+                self._fill_broadcast(build, queues, budget)
+            self._finish(build)
+            return build
+
+        # --- broadcast portion first (Section 4.2.3) -------------------
+        if queues.broadcast_count:
+            self._fill_broadcast(build, queues, budget)
+            budget = policy.max_aggregate_bytes - build.total_bytes
+            if not policy.mixes_broadcast_and_unicast:
+                # NA/UA: broadcast traffic travels alone.
+                self._finish(build)
+                return build
+
+        # --- unicast portion -------------------------------------------
+        destination = queues.head_unicast_destination()
+        if destination is not None:
+            max_subframes = policy.max_unicast_subframes
+            taken_bytes = 0
+
+            def fits(subframe: "MacSubframe", _build=build) -> bool:
+                nonlocal taken_bytes
+                # A frame cannot be fragmented, so an otherwise-empty aggregate
+                # always accepts its first subframe even if that subframe alone
+                # exceeds the budget.
+                if (not _build.unicast_subframes and not _build.broadcast_subframes
+                        and taken_bytes == 0):
+                    taken_bytes += subframe.size_bytes
+                    return True
+                if taken_bytes + subframe.size_bytes <= budget:
+                    taken_bytes += subframe.size_bytes
+                    return True
+                return False
+
+            build.unicast_subframes = queues.take_unicast_for(destination, max_subframes, fits)
+            build.destination = destination if build.unicast_subframes else None
+
+        self._finish(build)
+        return build
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fill_broadcast(self, build: AggregateBuild, queues: "TransmitQueues",
+                        budget: int) -> None:
+        limit = self.policy.max_broadcast_subframes
+        while queues.broadcast_count and len(build.broadcast_subframes) < limit:
+            head = queues.peek_broadcast()[0]
+            first = not build.broadcast_subframes and not build.unicast_subframes
+            if not first and build.total_bytes + head.size_bytes > self.policy.max_aggregate_bytes:
+                break
+            if first or head.size_bytes <= budget - sum(
+                    sf.size_bytes for sf in build.broadcast_subframes):
+                build.broadcast_subframes.append(queues.pop_broadcast_head())
+            else:
+                break
+
+    def _finish(self, build: AggregateBuild) -> None:
+        if not build.empty:
+            self.builds += 1
+            self.subframes_aggregated += build.subframe_count

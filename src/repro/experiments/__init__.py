@@ -1,0 +1,28 @@
+"""Experiment runners: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning an
+:class:`~repro.stats.results.ExperimentResult`.  The default parameters
+reproduce the paper's setup; the benchmarks pass reduced file sizes /
+durations so the whole suite stays fast, which changes absolute numbers but
+not the qualitative shape.
+"""
+
+from repro.experiments.scenarios import (
+    StarRunResult,
+    TcpRunResult,
+    UdpRunResult,
+    run_star_tcp,
+    run_tcp_transfer,
+    run_udp_saturation,
+)
+from repro.experiments.paper_values import PAPER_VALUES
+
+__all__ = [
+    "TcpRunResult",
+    "UdpRunResult",
+    "StarRunResult",
+    "run_tcp_transfer",
+    "run_udp_saturation",
+    "run_star_tcp",
+    "PAPER_VALUES",
+]

@@ -1,0 +1,57 @@
+"""Binary-exponential backoff state.
+
+The DCF state machine owns *when* slots are counted down (it must freeze the
+counter while the medium is busy); this class owns the contention-window
+arithmetic: drawing a uniform slot count, doubling on failure and resetting
+on success.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mac.timing import MacTimingProfile
+
+
+class BackoffController:
+    """Contention window and slot-count management for one MAC."""
+
+    def __init__(self, timing: MacTimingProfile, rng: random.Random) -> None:
+        self.timing = timing
+        self._rng = rng
+        self._cw = timing.cw_min
+        self.slots_remaining = 0
+        self.draws = 0
+
+    @property
+    def contention_window(self) -> int:
+        """Current contention window size."""
+        return self._cw
+
+    def draw(self) -> int:
+        """Draw a fresh backoff count uniformly from ``[0, cw)``."""
+        self.slots_remaining = self._rng.randrange(self._cw)
+        self.draws += 1
+        return self.slots_remaining
+
+    def consume(self, slots: int) -> None:
+        """Record that ``slots`` backoff slots elapsed while the medium was idle."""
+        self.slots_remaining = max(0, self.slots_remaining - slots)
+
+    @property
+    def expired(self) -> bool:
+        """True once the backoff counter reaches zero."""
+        return self.slots_remaining == 0
+
+    def on_failure(self) -> None:
+        """Double the contention window (bounded by ``cw_max``)."""
+        self._cw = min(self._cw * 2, self.timing.cw_max)
+
+    def on_success(self) -> None:
+        """Reset the contention window to ``cw_min``."""
+        self._cw = self.timing.cw_min
+
+    def reset(self) -> None:
+        """Reset both the contention window and any pending slot count."""
+        self._cw = self.timing.cw_min
+        self.slots_remaining = 0

@@ -1,0 +1,520 @@
+"""The aggregating DCF MAC.
+
+This is the Hydra MAC of Section 4 of the paper: IEEE 802.11 DCF with an
+RTS/CTS exchange, extended with
+
+* two transmit queues (broadcast and unicast) and a classifier that places
+  pure TCP ACKs in the broadcast queue,
+* transmit-time aggregation (the frame is assembled when the DCF acquires the
+  floor),
+* receive-side per-subframe CRC processing with all-or-nothing acceptance of
+  the unicast portion and a single link-level ACK,
+* address filtering of overheard broadcast-portion subframes that carry
+  unicast addresses (classified TCP ACKs), and
+* an optional block-ACK extension (future work in the paper, used by the
+  ablation benchmarks).
+
+The implementation is event driven: the PHY reports carrier busy/idle
+transitions, frame receptions and transmit completions; the MAC reacts and
+keeps explicit state (idle / contending / waiting for CTS / waiting for ACK).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.aggregator import AggregateBuild, Aggregator
+from repro.core.block_ack import BlockAck, BlockAckScoreboard
+from repro.core.classifier import TcpAckClassifier
+from repro.core.deaggregation import DuplicateDetector, process_received_aggregate
+from repro.core.policies import AggregationPolicy, broadcast_aggregation
+from repro.errors import MacError
+from repro.mac.addresses import BROADCAST_MAC, MacAddress
+from repro.mac.backoff import BackoffController
+from repro.mac.frames import (
+    AckFrame,
+    CtsFrame,
+    MacSubframe,
+    RtsFrame,
+    subframe_for_packet,
+)
+from repro.mac.nav import NetworkAllocationVector
+from repro.mac.queues import TransmitQueues
+from repro.mac.stats import MacStatistics
+from repro.mac.timing import HYDRA_MAC_TIMING, MacTimingProfile
+from repro.net.packet import Packet
+from repro.phy.device import Phy
+from repro.phy.frame import FrameKind, PhyFrame, ReceptionResult
+from repro.phy.link_adaptation import FixedRate, RateController
+from repro.phy.rates import HYDRA_SISO_RATES, PhyRate
+from repro.sim.simulator import Simulator
+from repro.sim.timer import Timer
+
+#: Callback signature for packets delivered to the network layer:
+#: ``callback(packet, source_mac)``.
+ReceiveCallback = Callable[[Packet, MacAddress], None]
+
+
+class MacState(enum.Enum):
+    """Coarse state of the DCF state machine."""
+
+    IDLE = "idle"
+    CONTEND = "contend"
+    WAIT_CTS = "wait_cts"
+    WAIT_ACK = "wait_ack"
+
+
+@dataclass
+class MacConfig:
+    """Static configuration of one MAC instance."""
+
+    address: MacAddress
+    unicast_rate: PhyRate
+    #: Rate for the broadcast portion; ``None`` means "same as unicast"
+    #: unless the aggregation policy pins a rate (Figure 10).
+    broadcast_rate: Optional[PhyRate] = None
+    #: Rate for control frames (RTS/CTS/ACK); Hydra sends them at the base rate.
+    basic_rate: PhyRate = HYDRA_SISO_RATES[0]
+    timing: MacTimingProfile = field(default_factory=lambda: HYDRA_MAC_TIMING)
+    use_rts_cts: bool = True
+    #: Unicast portions at least this large use the RTS/CTS exchange.
+    rts_threshold_bytes: int = 0
+    queue_capacity: int = 50
+    use_block_ack: bool = False
+    dedup_cache_size: int = 128
+
+
+class AggregatingMac:
+    """802.11 DCF MAC with the paper's aggregation extensions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: Phy,
+        config: MacConfig,
+        policy: Optional[AggregationPolicy] = None,
+        rate_controller: Optional[RateController] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.phy = phy
+        self.config = config
+        self.policy = policy or broadcast_aggregation()
+        self.name = name or f"mac-{config.address}"
+        self.address = config.address
+        self.timing = config.timing
+
+        self.queues = TransmitQueues(capacity=config.queue_capacity)
+        self.classifier = TcpAckClassifier(enabled=self.policy.classify_tcp_acks_as_broadcast)
+        self.aggregator = Aggregator(self.policy)
+        self.duplicates = DuplicateDetector(cache_size=config.dedup_cache_size)
+        self.stats = MacStatistics(name=self.name)
+        self.rate_controller = rate_controller or FixedRate(config.unicast_rate)
+        self.scoreboard = BlockAckScoreboard()
+
+        rng = sim.random.stream(f"mac.{self.name}")
+        self.backoff = BackoffController(self.timing, rng)
+        self.nav = NetworkAllocationVector(sim, on_expire=self._on_medium_maybe_idle)
+
+        self.state = MacState.IDLE
+        self._current: Optional[AggregateBuild] = None
+        self._pending_retry: Optional[AggregateBuild] = None
+        self._retry_count = 0
+        self._flush_forced = False
+        self._drawn_slots = 0
+
+        self._access_timer = Timer(sim, self._on_backoff_complete,
+                                   priority=Simulator.PRIORITY_MAC, name=f"{self.name}.access")
+        self._response_timer = Timer(sim, self._on_response_timeout,
+                                     priority=Simulator.PRIORITY_MAC, name=f"{self.name}.response")
+        self._flush_timer = Timer(sim, self._on_flush_timeout,
+                                  priority=Simulator.PRIORITY_MAC, name=f"{self.name}.flush")
+
+        self._receive_callback: Optional[ReceiveCallback] = None
+        phy.attach_listener(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_receive_callback(self, callback: ReceiveCallback) -> None:
+        """Register the network-layer handler for delivered packets."""
+        self._receive_callback = callback
+
+    # ------------------------------------------------------------------
+    # Rates
+    # ------------------------------------------------------------------
+    @property
+    def unicast_rate(self) -> PhyRate:
+        """Rate used for the unicast portion of data frames."""
+        return self.rate_controller.current_rate()
+
+    @property
+    def broadcast_rate(self) -> PhyRate:
+        """Rate used for the broadcast portion of data frames."""
+        if self.config.broadcast_rate is not None:
+            return self.config.broadcast_rate
+        return self.unicast_rate
+
+    # ------------------------------------------------------------------
+    # Transmit path: enqueue
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, next_hop: MacAddress) -> bool:
+        """Queue ``packet`` for transmission to ``next_hop``.
+
+        Returns False when the relevant queue overflowed and the packet was
+        dropped.
+        """
+        subframe = subframe_for_packet(packet, src=self.address, dst=next_hop,
+                                       now=self.sim.now)
+        use_broadcast_queue = self.classifier.belongs_in_broadcast_queue(
+            packet, link_broadcast=next_hop.is_broadcast)
+        if use_broadcast_queue:
+            accepted = self.queues.enqueue_broadcast(subframe)
+        else:
+            accepted = self.queues.enqueue_unicast(subframe)
+        if not accepted:
+            self.stats.queue_drops += 1
+            return False
+        self.sim.tracer.emit(self.name, "mac", "enqueue",
+                             queue="bcast" if use_broadcast_queue else "ucast",
+                             bytes=subframe.size_bytes)
+        self._try_start_access()
+        return True
+
+    # ------------------------------------------------------------------
+    # Transmit path: channel access
+    # ------------------------------------------------------------------
+    def _medium_busy(self) -> bool:
+        return self.phy.carrier_busy or self.nav.busy
+
+    def _try_start_access(self) -> None:
+        if self.state is not MacState.IDLE:
+            return
+        if self.queues.empty and self._pending_retry is None:
+            return
+        if not self._delay_condition_met():
+            if not self._flush_timer.running:
+                self._flush_timer.start(self.policy.delayed_flush_timeout)
+            return
+        self._flush_timer.cancel()
+        self.state = MacState.CONTEND
+        self._drawn_slots = self.backoff.draw()
+        self._resume_backoff()
+
+    def _delay_condition_met(self) -> bool:
+        if self._pending_retry is not None:
+            return True
+        if self.policy.min_frames_before_transmit <= 1 or self._flush_forced:
+            return True
+        return self.queues.total_count >= self.policy.min_frames_before_transmit
+
+    def _on_flush_timeout(self) -> None:
+        self._flush_forced = True
+        self._try_start_access()
+
+    def _resume_backoff(self) -> None:
+        if self.state is not MacState.CONTEND:
+            return
+        if self._medium_busy():
+            return
+        if self._access_timer.running:
+            return
+        delay = self.timing.difs + self.backoff.slots_remaining * self.timing.slot_time
+        self._backoff_resumed_at = self.sim.now
+        self._access_timer.start(delay)
+
+    def _pause_backoff(self) -> None:
+        if self.state is not MacState.CONTEND or not self._access_timer.running:
+            return
+        elapsed = self.sim.now - self._backoff_resumed_at
+        idle_slots = int(max(0.0, elapsed - self.timing.difs) / self.timing.slot_time)
+        self.backoff.consume(idle_slots)
+        self._access_timer.cancel()
+
+    def _on_backoff_complete(self) -> None:
+        if self.state is not MacState.CONTEND:  # pragma: no cover - defensive
+            return
+        self.stats.record_ifs(self.timing.difs)
+        self.stats.record_contention(self._drawn_slots * self.timing.slot_time)
+        self.backoff.slots_remaining = 0
+        self._begin_exchange()
+
+    # ------------------------------------------------------------------
+    # Transmit path: the exchange
+    # ------------------------------------------------------------------
+    def _begin_exchange(self) -> None:
+        if self._pending_retry is not None:
+            self._current = self._pending_retry
+            self._pending_retry = None
+        else:
+            self._current = self.aggregator.build(self.queues)
+        if self._current is None or self._current.empty:
+            self._current = None
+            self.state = MacState.IDLE
+            self._try_start_access()
+            return
+
+        needs_rts = (
+            self._current.has_unicast
+            and self.config.use_rts_cts
+            and self._current.unicast_bytes >= self.config.rts_threshold_bytes
+        )
+        if needs_rts:
+            self._send_rts()
+        else:
+            self._send_data_frame()
+
+    def _control_airtime(self, size_bytes: int) -> float:
+        return self.phy.config.timing.control_airtime(size_bytes, self.config.basic_rate)
+
+    def _build_data_frame(self) -> PhyFrame:
+        assert self._current is not None
+        frame = self._current.to_phy_frame(self.unicast_rate, self._resolved_broadcast_rate())
+        # Virtual carrier sensing: the duration field of the first unicast
+        # subframe reserves the medium for the SIFS + ACK that follows.
+        ack_time = self._control_airtime(AckFrame(dst=self.address).size_bytes)
+        reservation = self.timing.sifs + ack_time if frame.has_unicast else 0.0
+        for subframe in list(frame.broadcast_subframes) + list(frame.unicast_subframes):
+            subframe.duration = reservation
+        return frame
+
+    def _resolved_broadcast_rate(self) -> PhyRate:
+        return self.broadcast_rate
+
+    def _send_rts(self) -> None:
+        assert self._current is not None
+        data_frame = self._build_data_frame()
+        cts_time = self._control_airtime(CtsFrame(dst=self.address).size_bytes)
+        ack_time = self._control_airtime(AckFrame(dst=self.address).size_bytes)
+        data_time = data_frame.airtime(self.phy.config.timing)
+        reservation = 3 * self.timing.sifs + cts_time + data_time + ack_time
+        rts = RtsFrame(src=self.address, dst=self._current.destination, duration=reservation)
+        frame = PhyFrame.control_frame(FrameKind.RTS, rts, self.config.basic_rate)
+        self._pause_backoff()
+        airtime = self.phy.send(frame)
+        self.stats.record_control_frame("rts", airtime)
+        self.state = MacState.WAIT_CTS
+        self.sim.tracer.emit(self.name, "mac", "rts", dst=str(rts.dst))
+
+    def _send_data_frame(self) -> None:
+        if self._current is None:  # pragma: no cover - defensive
+            return
+        frame = self._build_data_frame()
+        self._pause_backoff()
+        self.phy.send(frame)
+        self.stats.record_data_frame(self.sim.now, frame, self.phy.config.timing)
+        if self.config.use_block_ack and frame.has_unicast:
+            self.scoreboard.register(list(frame.unicast_subframes))
+        self.sim.tracer.emit(self.name, "mac", "data_tx",
+                             subframes=frame.subframe_count, bytes=frame.total_bytes)
+
+    # ------------------------------------------------------------------
+    # PHY listener interface
+    # ------------------------------------------------------------------
+    def on_transmit_complete(self, frame: PhyFrame) -> None:
+        """PHY finished sending one of our frames."""
+        if frame.kind is FrameKind.RTS:
+            cts_time = self._control_airtime(CtsFrame(dst=self.address).size_bytes)
+            self._response_timer.start(self.timing.response_timeout(cts_time))
+        elif frame.kind is FrameKind.DATA and frame.sender is self.phy:
+            if self.state in (MacState.CONTEND, MacState.IDLE, MacState.WAIT_CTS):
+                # Data sent by the exchange initiated by us.
+                if frame.has_unicast:
+                    ack_size = (BlockAck(dst=self.address, received_sequences=frozenset()).size_bytes
+                                if self.config.use_block_ack else AckFrame(dst=self.address).size_bytes)
+                    ack_time = self._control_airtime(ack_size)
+                    self.state = MacState.WAIT_ACK
+                    self._response_timer.start(self.timing.response_timeout(ack_time))
+                else:
+                    self._complete_success(broadcast_only=True)
+        elif frame.kind in (FrameKind.CTS, FrameKind.ACK):
+            # We just answered someone else's exchange; resume our own work.
+            self._on_medium_maybe_idle()
+        self._try_start_access()
+
+    def on_carrier_busy(self) -> None:
+        """PHY reports energy on the medium."""
+        self._pause_backoff()
+
+    def on_carrier_idle(self) -> None:
+        """PHY reports the medium went idle."""
+        self._on_medium_maybe_idle()
+
+    def _on_medium_maybe_idle(self) -> None:
+        if self.state is MacState.CONTEND and not self._medium_busy():
+            self._resume_backoff()
+
+    def on_frame_received(self, result: ReceptionResult) -> None:
+        """PHY delivered a decoded frame."""
+        frame = result.frame
+        if frame.kind is FrameKind.RTS:
+            self._handle_rts(result)
+        elif frame.kind is FrameKind.CTS:
+            self._handle_cts(result)
+        elif frame.kind is FrameKind.ACK:
+            self._handle_ack(result)
+        else:
+            self._handle_data(result)
+
+    # ------------------------------------------------------------------
+    # Receive path: control frames
+    # ------------------------------------------------------------------
+    def _handle_rts(self, result: ReceptionResult) -> None:
+        if not result.control_ok:
+            return
+        rts: RtsFrame = result.frame.control
+        if rts.dst == self.address:
+            remaining = max(0.0, rts.duration - self.timing.sifs)
+            cts = CtsFrame(dst=rts.src, duration=remaining)
+            self.sim.schedule(self.timing.sifs, self._send_control_response,
+                              FrameKind.CTS, cts, priority=Simulator.PRIORITY_MAC)
+        else:
+            self.nav.update(rts.duration)
+            self._pause_backoff()
+
+    def _handle_cts(self, result: ReceptionResult) -> None:
+        if not result.control_ok:
+            return
+        cts: CtsFrame = result.frame.control
+        if cts.dst == self.address and self.state is MacState.WAIT_CTS:
+            self._response_timer.cancel()
+            self.stats.record_control_frame("cts_rx", result.frame.airtime(self.phy.config.timing))
+            self.stats.record_ifs(self.timing.sifs)
+            self.rate_controller.on_feedback(result.snr_db)
+            self.sim.schedule(self.timing.sifs, self._send_data_frame,
+                              priority=Simulator.PRIORITY_MAC)
+        elif cts.dst != self.address:
+            self.nav.update(cts.duration)
+            self._pause_backoff()
+
+    def _handle_ack(self, result: ReceptionResult) -> None:
+        if not result.control_ok:
+            return
+        control = result.frame.control
+        if control.dst != self.address or self.state is not MacState.WAIT_ACK:
+            return
+        self._response_timer.cancel()
+        self.stats.acks_received += 1
+        self.stats.record_control_frame("ack_rx", result.frame.airtime(self.phy.config.timing))
+        self.stats.record_ifs(self.timing.sifs)
+        if self.config.use_block_ack and isinstance(control, BlockAck):
+            missing = self.scoreboard.apply(control)
+            if missing:
+                self._handle_failure(data_was_sent=True, preserved_unicast=missing)
+                return
+        self._complete_success()
+
+    def _send_control_response(self, kind: FrameKind, control_frame) -> None:
+        if self.phy.state.value == "transmitting":  # pragma: no cover - defensive
+            return
+        self._pause_backoff()
+        frame = PhyFrame.control_frame(kind, control_frame, self.config.basic_rate)
+        airtime = self.phy.send(frame)
+        self.stats.record_control_frame(kind.value, airtime)
+
+    # ------------------------------------------------------------------
+    # Receive path: data frames
+    # ------------------------------------------------------------------
+    def _handle_data(self, result: ReceptionResult) -> None:
+        outcome = process_received_aggregate(
+            result, self.address, duplicates=self.duplicates,
+            block_ack_enabled=self.config.use_block_ack)
+
+        self.stats.overheard_dropped += outcome.overheard_dropped
+        self.stats.duplicates_filtered += outcome.duplicates_filtered
+        if outcome.nav_duration > 0:
+            self.nav.update(outcome.nav_duration)
+            self._pause_backoff()
+
+        for subframe in outcome.broadcast_deliveries:
+            self._deliver_up(subframe)
+        for subframe in outcome.unicast_deliveries:
+            self._deliver_up(subframe)
+
+        if outcome.send_ack and outcome.ack_destination is not None:
+            if self.config.use_block_ack:
+                response = BlockAck.for_outcome(outcome.ack_destination,
+                                                outcome.unicast_crc_passed)
+            else:
+                last = outcome.unicast_crc_passed[-1] if outcome.unicast_crc_passed else None
+                response = AckFrame(dst=outcome.ack_destination, acked_sequence=last)
+            self.sim.schedule(self.timing.sifs, self._send_control_response,
+                              FrameKind.ACK, response, priority=Simulator.PRIORITY_MAC)
+
+    def _deliver_up(self, subframe: MacSubframe) -> None:
+        self.stats.subframes_delivered_up += 1
+        if self._receive_callback is not None:
+            self._receive_callback(subframe.packet, subframe.src)
+
+    # ------------------------------------------------------------------
+    # Exchange completion
+    # ------------------------------------------------------------------
+    def _complete_success(self, broadcast_only: bool = False) -> None:
+        self.backoff.on_success()
+        self.rate_controller.on_success()
+        self._retry_count = 0
+        self._current = None
+        self._pending_retry = None
+        self._flush_forced = False
+        self.state = MacState.IDLE
+        self.sim.tracer.emit(self.name, "mac", "exchange_done", broadcast_only=broadcast_only)
+        self._try_start_access()
+
+    def _on_response_timeout(self) -> None:
+        if self.state is MacState.WAIT_CTS:
+            self._handle_failure(data_was_sent=False)
+        elif self.state is MacState.WAIT_ACK:
+            self._handle_failure(data_was_sent=True)
+
+    def _handle_failure(self, data_was_sent: bool,
+                        preserved_unicast: Optional[List[MacSubframe]] = None) -> None:
+        if self._current is None:  # pragma: no cover - defensive
+            self.state = MacState.IDLE
+            self._try_start_access()
+            return
+        self.stats.retransmissions += 1
+        self.backoff.on_failure()
+        self.rate_controller.on_failure()
+        self._retry_count += 1
+
+        if self._retry_count > self.timing.retry_limit:
+            # Give up on the unicast portion entirely.
+            dropped = len(self._current.unicast_subframes)
+            self.stats.unicast_drops += dropped
+            self._pending_retry = None
+            self._retry_count = 0
+            self.backoff.on_success()
+        else:
+            if data_was_sent:
+                # The broadcast portion was already transmitted (unacknowledged);
+                # only the unicast portion is retried.
+                retry = self._current.without_broadcast_portion()
+                if preserved_unicast is not None:
+                    retry.unicast_subframes = list(preserved_unicast)
+            else:
+                # The RTS failed: nothing went out, keep the whole aggregate.
+                retry = self._current
+            for subframe in retry.unicast_subframes:
+                subframe.retries += 1
+            self._pending_retry = retry if not retry.empty else None
+
+        self._current = None
+        self.state = MacState.IDLE
+        self.sim.tracer.emit(self.name, "mac", "exchange_failed", retries=self._retry_count,
+                             data_sent=data_was_sent)
+        self._try_start_access()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when the MAC has nothing queued and no exchange in progress."""
+        return (self.state is MacState.IDLE and self.queues.empty
+                and self._pending_retry is None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AggregatingMac {self.name} state={self.state.value} "
+                f"queued={self.queues.total_count}>")

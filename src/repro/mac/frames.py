@@ -1,0 +1,117 @@
+"""MAC frame formats and size accounting.
+
+The MAC subframe format follows Figure 4 of the paper: frame control,
+duration, three addresses, a 2-byte length field, the MPDU payload, an FCS
+and PAD octets.  On the Hydra prototype the full link-layer encapsulation of
+an MSS-sized (1357 B) TCP segment produces a 1464 B MAC frame and a pure TCP
+ACK produces a 160 B MAC frame (Section 5); the constants below reproduce
+those sizes exactly:
+
+* ``SUBFRAME_OVERHEAD_BYTES = 67`` — MAC header (24 B), length field, FCS,
+  LLC/SNAP encapsulation and alignment padding, measured end to end;
+* ``MIN_SUBFRAME_BYTES = 160`` — small subframes (pure TCP ACKs are
+  20 B TCP + 20 B IP + 67 B = 107 B) are padded up to the prototype's minimum
+  subframe size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mac.addresses import BROADCAST_MAC, MacAddress
+from repro.net.packet import Packet
+
+#: Link-layer encapsulation overhead added to every network packet.
+SUBFRAME_OVERHEAD_BYTES = 67
+#: Minimum size of a MAC subframe (smaller payloads are padded).
+MIN_SUBFRAME_BYTES = 160
+#: Control frame sizes (bytes), as in 802.11.
+RTS_FRAME_BYTES = 20
+CTS_FRAME_BYTES = 14
+ACK_FRAME_BYTES = 14
+
+_sequence_numbers = itertools.count(1)
+
+
+@dataclass
+class MacSubframe:
+    """One MAC subframe inside an aggregated physical frame.
+
+    ``transmit_in_broadcast_portion`` records the queue the subframe was
+    assigned to: pure TCP ACKs keep their unicast destination address but are
+    carried (unacknowledged) in the broadcast portion of the frame
+    (Section 3.3).
+    """
+
+    src: MacAddress
+    dst: MacAddress
+    packet: Packet
+    sequence: int = field(default_factory=lambda: next(_sequence_numbers))
+    duration: float = 0.0
+    transmit_in_broadcast_portion: bool = False
+    retries: int = 0
+    enqueued_at: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        """On-air size of the subframe (header + payload + FCS + padding)."""
+        return max(self.packet.size_bytes + SUBFRAME_OVERHEAD_BYTES, MIN_SUBFRAME_BYTES)
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Bytes that are MAC encapsulation rather than network payload."""
+        return self.size_bytes - self.packet.size_bytes
+
+    @property
+    def is_link_broadcast(self) -> bool:
+        """True when the destination is the broadcast MAC address."""
+        return self.dst.is_broadcast
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        queue = "bcast" if self.transmit_in_broadcast_portion else "ucast"
+        return (f"<MacSubframe seq={self.sequence} {self.src}->{self.dst} "
+                f"{self.size_bytes}B {queue}>")
+
+
+@dataclass
+class RtsFrame:
+    """Request-to-send control frame."""
+
+    src: MacAddress
+    dst: MacAddress
+    duration: float = 0.0
+    size_bytes: int = RTS_FRAME_BYTES
+
+
+@dataclass
+class CtsFrame:
+    """Clear-to-send control frame (addressed to the RTS originator)."""
+
+    dst: MacAddress
+    duration: float = 0.0
+    size_bytes: int = CTS_FRAME_BYTES
+
+
+@dataclass
+class AckFrame:
+    """Link-level acknowledgement for the unicast portion of an aggregate."""
+
+    dst: MacAddress
+    #: Sequence number of the last unicast subframe being acknowledged, kept
+    #: for tracing; the ACK acknowledges the whole unicast portion.
+    acked_sequence: Optional[int] = None
+    size_bytes: int = ACK_FRAME_BYTES
+
+
+def subframe_for_packet(packet: Packet, src: MacAddress, dst: MacAddress,
+                        broadcast_portion: bool = False, now: float = 0.0) -> MacSubframe:
+    """Wrap a network packet into a MAC subframe."""
+    return MacSubframe(
+        src=src,
+        dst=dst,
+        packet=packet,
+        transmit_in_broadcast_portion=broadcast_portion or dst.is_broadcast,
+        enqueued_at=now,
+    )

@@ -1,0 +1,68 @@
+"""Virtual carrier sensing (the network allocation vector).
+
+Overheard RTS/CTS frames and the duration field of the first unicast subframe
+of an aggregate (Section 4.2.1) set the NAV; the DCF treats the medium as
+busy until the NAV expires, in addition to physical carrier sensing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.simulator import Simulator
+
+
+class NetworkAllocationVector:
+    """Tracks the time until which the medium is virtually reserved."""
+
+    def __init__(self, sim: Simulator, on_expire: Optional[Callable[[], None]] = None) -> None:
+        self._sim = sim
+        self._until = 0.0
+        self._on_expire = on_expire
+        self._expiry_event = None
+        self.updates = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while the NAV reserves the medium."""
+        return self._sim.now < self._until
+
+    @property
+    def until(self) -> float:
+        """Absolute time at which the current reservation ends."""
+        return self._until
+
+    def remaining(self) -> float:
+        """Seconds of reservation left (0 when idle)."""
+        return max(0.0, self._until - self._sim.now)
+
+    def update(self, duration: float) -> None:
+        """Extend the NAV to ``now + duration`` if that is later than the current value."""
+        if duration <= 0:
+            return
+        candidate = self._sim.now + duration
+        if candidate > self._until:
+            self._until = candidate
+            self.updates += 1
+            self._schedule_expiry()
+
+    def clear(self) -> None:
+        """Cancel any reservation."""
+        self._until = 0.0
+        if self._expiry_event is not None:
+            self._sim.cancel(self._expiry_event)
+            self._expiry_event = None
+
+    def _schedule_expiry(self) -> None:
+        if self._on_expire is None:
+            return
+        if self._expiry_event is not None:
+            self._sim.cancel(self._expiry_event)
+        self._expiry_event = self._sim.schedule(
+            self.remaining(), self._expired, priority=Simulator.PRIORITY_MAC
+        )
+
+    def _expired(self) -> None:
+        self._expiry_event = None
+        if not self.busy and self._on_expire is not None:
+            self._on_expire()

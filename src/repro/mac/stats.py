@@ -1,0 +1,164 @@
+"""Per-MAC statistics.
+
+These counters feed the paper's detailed analysis (Tables 3–8): number of
+data transmissions, average aggregated frame size, size overhead (MAC + PHY
+header bytes relative to total bytes) and time overhead (header, control
+frame, backoff and interframe-space airtime relative to total busy time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.phy.frame import PhyFrame
+from repro.phy.rates import PhyRate
+from repro.phy.timing import PhyTimingConfig
+from repro.sim.monitor import TimeSeriesMonitor
+
+
+@dataclass
+class MacStatistics:
+    """Counters and accumulators maintained by one MAC instance."""
+
+    name: str = "mac"
+
+    # Transmission counts
+    data_transmissions: int = 0
+    broadcast_only_transmissions: int = 0
+    rts_sent: int = 0
+    cts_sent: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    retransmissions: int = 0
+    unicast_drops: int = 0
+    queue_drops: int = 0
+
+    # Subframe counts
+    unicast_subframes_sent: int = 0
+    broadcast_subframes_sent: int = 0
+    classified_ack_subframes_sent: int = 0
+    subframes_delivered_up: int = 0
+    overheard_dropped: int = 0
+    duplicates_filtered: int = 0
+
+    # Byte accounting (transmit side)
+    payload_bytes_sent: int = 0
+    mac_overhead_bytes_sent: int = 0
+    phy_header_bytes_equivalent: float = 0.0
+
+    # Airtime accounting (transmit side, exchanges this MAC initiated)
+    payload_airtime: float = 0.0
+    header_airtime: float = 0.0
+    control_airtime: float = 0.0
+    ifs_airtime: float = 0.0
+    contention_airtime: float = 0.0
+
+    # Per-transmission frame sizes (bytes of MAC payload in each DATA frame)
+    frame_sizes: TimeSeriesMonitor = field(default_factory=lambda: TimeSeriesMonitor("frame_size"))
+    aggregate_subframe_counts: TimeSeriesMonitor = field(
+        default_factory=lambda: TimeSeriesMonitor("subframes_per_frame"))
+
+    # ------------------------------------------------------------------
+    # Recording helpers
+    # ------------------------------------------------------------------
+    def record_data_frame(self, now: float, frame: PhyFrame, timing: PhyTimingConfig) -> None:
+        """Account for a DATA frame this MAC just transmitted."""
+        self.data_transmissions += 1
+        if frame.is_broadcast_only:
+            self.broadcast_only_transmissions += 1
+        self.frame_sizes.record(now, frame.total_bytes)
+        self.aggregate_subframe_counts.record(now, frame.subframe_count)
+
+        broadcast_rate = frame.broadcast_rate or frame.unicast_rate
+        for subframe in frame.broadcast_subframes:
+            self.broadcast_subframes_sent += 1
+            if not subframe.dst.is_broadcast:
+                self.classified_ack_subframes_sent += 1
+            self._account_subframe(subframe, broadcast_rate)
+        for subframe in frame.unicast_subframes:
+            self.unicast_subframes_sent += 1
+            self._account_subframe(subframe, frame.unicast_rate)
+
+        # The PHY preamble/header is pure overhead; express it both in time and
+        # in "equivalent bytes" at the unicast rate for the size-overhead metric.
+        self.header_airtime += timing.preamble_duration
+        self.phy_header_bytes_equivalent += (
+            timing.preamble_duration * frame.unicast_rate.data_rate_bps / 8.0
+        )
+
+    def _account_subframe(self, subframe, rate: PhyRate) -> None:
+        payload = subframe.packet.size_bytes
+        overhead = subframe.overhead_bytes
+        self.payload_bytes_sent += payload
+        self.mac_overhead_bytes_sent += overhead
+        self.payload_airtime += rate.transmission_time(payload)
+        self.header_airtime += rate.transmission_time(overhead)
+
+    def record_control_frame(self, kind: str, airtime: float) -> None:
+        """Account for a control frame (sent or received as part of our exchange)."""
+        self.control_airtime += airtime
+        if kind == "rts":
+            self.rts_sent += 1
+        elif kind == "cts":
+            self.cts_sent += 1
+        elif kind == "ack":
+            self.acks_sent += 1
+
+    def record_ifs(self, duration: float) -> None:
+        """Account for DIFS/SIFS idle time that is part of our exchange."""
+        self.ifs_airtime += duration
+
+    def record_contention(self, duration: float) -> None:
+        """Account for backoff time spent before winning the floor."""
+        self.contention_airtime += duration
+
+    # ------------------------------------------------------------------
+    # Derived metrics (the paper's Tables 3-8)
+    # ------------------------------------------------------------------
+    @property
+    def average_frame_size(self) -> float:
+        """Average MAC bytes per DATA transmission (Table 3 / 5 / 8)."""
+        return self.frame_sizes.mean()
+
+    @property
+    def average_subframes_per_frame(self) -> float:
+        """Average aggregation ratio (subframes per DATA transmission)."""
+        return self.aggregate_subframe_counts.mean()
+
+    @property
+    def size_overhead_fraction(self) -> float:
+        """MAC + PHY header bytes as a fraction of total transmitted bytes (Table 3 / 6)."""
+        overhead = self.mac_overhead_bytes_sent + self.phy_header_bytes_equivalent
+        total = self.payload_bytes_sent + overhead
+        if total <= 0:
+            return 0.0
+        return overhead / total
+
+    @property
+    def time_overhead_fraction(self) -> float:
+        """Non-payload airtime as a fraction of total exchange time (Table 4)."""
+        overhead = (self.header_airtime + self.control_airtime
+                    + self.ifs_airtime + self.contention_airtime)
+        total = overhead + self.payload_airtime
+        if total <= 0:
+            return 0.0
+        return overhead / total
+
+    @property
+    def total_subframes_sent(self) -> int:
+        """Unicast plus broadcast subframes transmitted."""
+        return self.unicast_subframes_sent + self.broadcast_subframes_sent
+
+    def summary(self) -> dict:
+        """Flat dictionary of the headline statistics (for reports/tests)."""
+        return {
+            "data_transmissions": self.data_transmissions,
+            "average_frame_size": round(self.average_frame_size, 1),
+            "average_subframes_per_frame": round(self.average_subframes_per_frame, 2),
+            "size_overhead": round(self.size_overhead_fraction, 4),
+            "time_overhead": round(self.time_overhead_fraction, 4),
+            "retransmissions": self.retransmissions,
+            "unicast_drops": self.unicast_drops,
+            "queue_drops": self.queue_drops,
+        }

@@ -1,0 +1,18 @@
+"""Network layer: packet model, addressing, static routing and flooding."""
+
+from repro.net.packet import IpHeader, Packet, TcpHeader, UdpHeader
+from repro.net.address import IpAddress
+from repro.net.routing import ForwardingEngine, RoutingTable, StaticRoute
+from repro.net.flooding import FloodingSource
+
+__all__ = [
+    "Packet",
+    "IpHeader",
+    "TcpHeader",
+    "UdpHeader",
+    "IpAddress",
+    "RoutingTable",
+    "StaticRoute",
+    "ForwardingEngine",
+    "FloodingSource",
+]

@@ -1,0 +1,200 @@
+"""Static routing and packet forwarding.
+
+The paper's testbed forces its 2-hop, 3-hop and star topologies with static
+routes (Section 5) because every node is within radio range of every other
+node.  The :class:`RoutingTable` is therefore a plain destination → next-hop
+map and the :class:`ForwardingEngine` is the per-node network layer that
+glues the MAC to the transport protocols: it delivers local traffic up,
+forwards transit traffic to the next hop and hands broadcast (flooding)
+traffic to the registered handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.errors import RoutingError
+from repro.mac.addresses import BROADCAST_MAC, MacAddress
+from repro.net.address import IpAddress
+from repro.net.packet import Packet
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mac.dcf import AggregatingMac
+
+#: Handler signature for packets delivered to the local node:
+#: ``handler(packet, source_mac)``.
+PacketHandler = Callable[[Packet, MacAddress], None]
+
+#: The IP broadcast address used by flooding traffic.
+BROADCAST_IP = IpAddress("255.255.255.255")
+
+
+@dataclass(frozen=True)
+class StaticRoute:
+    """One entry of a static routing table."""
+
+    destination: IpAddress
+    next_hop: IpAddress
+
+    def __str__(self) -> str:
+        return f"{self.destination} via {self.next_hop}"
+
+
+class RoutingTable:
+    """Destination → next-hop map with an optional default route."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[IpAddress, IpAddress] = {}
+        self._default: Optional[IpAddress] = None
+
+    def add_route(self, destination: IpAddress, next_hop: IpAddress) -> None:
+        """Install (or replace) the route towards ``destination``."""
+        self._routes[IpAddress(destination)] = IpAddress(next_hop)
+
+    def set_default(self, next_hop: IpAddress) -> None:
+        """Install a default route."""
+        self._default = IpAddress(next_hop)
+
+    def next_hop(self, destination: IpAddress) -> IpAddress:
+        """Next hop towards ``destination`` (raises :class:`RoutingError` if none)."""
+        destination = IpAddress(destination)
+        if destination in self._routes:
+            return self._routes[destination]
+        if self._default is not None:
+            return self._default
+        raise RoutingError(f"no route to {destination}")
+
+    def has_route(self, destination: IpAddress) -> bool:
+        """True when a route (or default) exists for ``destination``."""
+        return IpAddress(destination) in self._routes or self._default is not None
+
+    @property
+    def routes(self) -> Dict[IpAddress, IpAddress]:
+        """Copy of the explicit routes."""
+        return dict(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+class NeighborTable:
+    """IP → MAC address resolution (a static ARP table shared by a scenario)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[IpAddress, MacAddress] = {}
+
+    def add(self, ip: IpAddress, mac: MacAddress) -> None:
+        """Register a neighbour."""
+        self._entries[IpAddress(ip)] = mac
+
+    def resolve(self, ip: IpAddress) -> MacAddress:
+        """MAC address of ``ip`` (raises :class:`RoutingError` when unknown)."""
+        ip = IpAddress(ip)
+        if ip == BROADCAST_IP:
+            return BROADCAST_MAC
+        try:
+            return self._entries[ip]
+        except KeyError:
+            raise RoutingError(f"no link-layer address known for {ip}") from None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class ForwardingStatistics:
+    """Counters kept by one forwarding engine."""
+
+    sent_local: int = 0
+    forwarded: int = 0
+    delivered_local: int = 0
+    delivered_broadcast: int = 0
+    no_route_drops: int = 0
+    ttl_drops: int = 0
+    unhandled_protocol_drops: int = 0
+
+
+class ForwardingEngine:
+    """The network layer of one node."""
+
+    def __init__(self, sim: Simulator, mac: "AggregatingMac", address: IpAddress,
+                 routing_table: Optional[RoutingTable] = None,
+                 neighbors: Optional[NeighborTable] = None,
+                 name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.mac = mac
+        self.address = IpAddress(address)
+        self.routing_table = routing_table if routing_table is not None else RoutingTable()
+        self.neighbors = neighbors if neighbors is not None else NeighborTable()
+        self.name = name or f"net-{address}"
+        self.stats = ForwardingStatistics()
+        self._handlers: Dict[str, PacketHandler] = {}
+        mac.set_receive_callback(self._on_mac_receive)
+
+    # ------------------------------------------------------------------
+    # Upper-layer registration
+    # ------------------------------------------------------------------
+    def register_handler(self, protocol: str, handler: PacketHandler) -> None:
+        """Register the local handler for packets of ``protocol`` ('tcp', 'udp', 'flood', ...)."""
+        self._handlers[protocol] = handler
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Send a locally originated packet towards ``packet.ip.dst``."""
+        self.stats.sent_local += 1
+        return self._route_and_enqueue(packet)
+
+    def _route_and_enqueue(self, packet: Packet) -> bool:
+        destination = packet.ip.dst
+        if destination == BROADCAST_IP:
+            return self.mac.enqueue(packet, BROADCAST_MAC)
+        if destination == self.address:
+            # Loopback: deliver immediately without touching the MAC.
+            self._deliver_local(packet, self.mac.address)
+            return True
+        try:
+            next_hop_ip = self.routing_table.next_hop(destination)
+            next_hop_mac = self.neighbors.resolve(next_hop_ip)
+        except RoutingError:
+            self.stats.no_route_drops += 1
+            return False
+        return self.mac.enqueue(packet, next_hop_mac)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_mac_receive(self, packet: Packet, source_mac: MacAddress) -> None:
+        destination = packet.ip.dst
+        if destination == BROADCAST_IP:
+            self.stats.delivered_broadcast += 1
+            self._dispatch(packet, source_mac)
+            return
+        if destination == self.address:
+            self._deliver_local(packet, source_mac)
+            return
+        # Transit traffic: forward towards the destination.
+        forwarded = packet.with_decremented_ttl()
+        if forwarded.ip.ttl <= 0:
+            self.stats.ttl_drops += 1
+            return
+        self.stats.forwarded += 1
+        self._route_and_enqueue(forwarded)
+
+    def _deliver_local(self, packet: Packet, source_mac: MacAddress) -> None:
+        self.stats.delivered_local += 1
+        self._dispatch(packet, source_mac)
+
+    def _dispatch(self, packet: Packet, source_mac: MacAddress) -> None:
+        protocol = packet.ip.protocol
+        handler = self._handlers.get(protocol)
+        if handler is None:
+            self.stats.unhandled_protocol_drops += 1
+            return
+        handler(packet, source_mac)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ForwardingEngine {self.address} routes={len(self.routing_table)}>"

@@ -1,0 +1,68 @@
+"""The Hydra node profile.
+
+Table 1 of the paper and the experimental setup of Section 5 fix the
+prototype's operating point: 1 MHz of bandwidth in the 2.4 GHz band, 7.7 mW
+transmit power giving ~25 dB SNR at the 2.5 m node spacing, SISO data rates
+of 0.65–6.5 Mbps (the experiments use the lowest four), cyclic-delay-diversity
+MIMO (a single spatial stream), DCF with RTS/CTS, and a maximum aggregation
+size of 5 KB chosen from the Figure 7 sweep.  :class:`HydraProfile` bundles
+those defaults so topology builders and experiments can instantiate nodes
+with one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.mac.timing import HYDRA_MAC_TIMING, MacTimingProfile
+from repro.phy.device import PhyConfig
+from repro.phy.error_model import ErrorModelConfig
+from repro.phy.rates import PhyRate, RateTable, hydra_rate_table
+from repro.phy.timing import PhyTimingConfig
+
+
+@dataclass
+class HydraProfile:
+    """Default PHY/MAC parameters of one Hydra node."""
+
+    #: PHY rate table (SISO; the cyclic-delay-diversity mode used in the
+    #: paper's experiments carries a single spatial stream).
+    rate_table: RateTable = field(default_factory=hydra_rate_table)
+    phy_timing: PhyTimingConfig = field(default_factory=PhyTimingConfig)
+    error_model: ErrorModelConfig = field(default_factory=ErrorModelConfig)
+    mac_timing: MacTimingProfile = field(default_factory=lambda: HYDRA_MAC_TIMING)
+    #: 7.7 mW transmit power (Section 5).
+    tx_power_dbm: float = 8.9
+    use_rts_cts: bool = True
+    queue_capacity: int = 50
+    #: Default unicast data rate (Mbps); experiments sweep this.
+    unicast_rate_mbps: float = 0.65
+    #: Default broadcast-portion rate; ``None`` = same as unicast.
+    broadcast_rate_mbps: Optional[float] = None
+
+    def phy_config(self) -> PhyConfig:
+        """Build the :class:`~repro.phy.device.PhyConfig` for this profile."""
+        return PhyConfig(timing=self.phy_timing, error=self.error_model,
+                         tx_power_dbm=self.tx_power_dbm)
+
+    def unicast_rate(self) -> PhyRate:
+        """Resolve the default unicast rate to a :class:`PhyRate`."""
+        return self.rate_table.by_mbps(self.unicast_rate_mbps)
+
+    def broadcast_rate(self) -> Optional[PhyRate]:
+        """Resolve the broadcast rate (None = follow the unicast rate)."""
+        if self.broadcast_rate_mbps is None:
+            return None
+        return self.rate_table.by_mbps(self.broadcast_rate_mbps)
+
+    def with_rates(self, unicast_rate_mbps: float,
+                   broadcast_rate_mbps: Optional[float] = None) -> "HydraProfile":
+        """Copy of the profile with different data rates."""
+        return replace(self, unicast_rate_mbps=unicast_rate_mbps,
+                       broadcast_rate_mbps=broadcast_rate_mbps)
+
+
+def default_hydra_profile() -> HydraProfile:
+    """The stock Hydra profile used throughout the paper's evaluation."""
+    return HydraProfile()

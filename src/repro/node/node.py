@@ -1,0 +1,109 @@
+"""A node: PHY, MAC, network layer and transport layers wired together.
+
+This mirrors the Hydra block diagram (Figure 3 of the paper): the radio/PHY
+at the bottom, the Click-based MAC and routing in the middle and the Linux
+protocol stack (here: the ``repro`` UDP/TCP implementations) on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.channel.medium import WirelessChannel
+from repro.core.policies import AggregationPolicy, broadcast_aggregation
+from repro.mac.addresses import MacAddress
+from repro.mac.dcf import AggregatingMac, MacConfig
+from repro.net.address import IpAddress
+from repro.net.routing import ForwardingEngine, NeighborTable, RoutingTable
+from repro.node.hydra import HydraProfile, default_hydra_profile
+from repro.phy.device import Phy
+from repro.sim.simulator import Simulator
+from repro.transport.tcp.layer import TcpLayer
+from repro.transport.udp import UdpLayer
+
+
+class Node:
+    """A complete wireless node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: WirelessChannel,
+        index: int,
+        position: Tuple[float, float] = (0.0, 0.0),
+        policy: Optional[AggregationPolicy] = None,
+        profile: Optional[HydraProfile] = None,
+        neighbors: Optional[NeighborTable] = None,
+        use_block_ack: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.index = index
+        self.position = position
+        self.profile = profile or default_hydra_profile()
+        self.policy = policy or broadcast_aggregation()
+
+        self.ip = IpAddress.host(index)
+        self.mac_address = MacAddress.node(index)
+        self.name = f"node{index}"
+
+        # --- PHY -----------------------------------------------------------
+        self.phy = Phy(sim, channel, config=self.profile.phy_config(),
+                       position=position, name=f"{self.name}.phy")
+
+        # --- MAC -----------------------------------------------------------
+        broadcast_rate = self.profile.broadcast_rate()
+        if self.policy.broadcast_rate_mbps is not None:
+            broadcast_rate = self.profile.rate_table.by_mbps(self.policy.broadcast_rate_mbps)
+        mac_config = MacConfig(
+            address=self.mac_address,
+            unicast_rate=self.profile.unicast_rate(),
+            broadcast_rate=broadcast_rate,
+            basic_rate=self.profile.rate_table.base_rate,
+            timing=self.profile.mac_timing,
+            use_rts_cts=self.profile.use_rts_cts,
+            queue_capacity=self.profile.queue_capacity,
+            use_block_ack=use_block_ack,
+        )
+        self.mac = AggregatingMac(sim, self.phy, mac_config, policy=self.policy,
+                                  name=f"{self.name}.mac")
+
+        # --- network layer ---------------------------------------------------
+        self.routing_table = RoutingTable()
+        self.neighbors = neighbors if neighbors is not None else NeighborTable()
+        self.network = ForwardingEngine(sim, self.mac, self.ip,
+                                        routing_table=self.routing_table,
+                                        neighbors=self.neighbors,
+                                        name=f"{self.name}.net")
+
+        # --- transport layers ------------------------------------------------
+        self.udp = UdpLayer(sim, self.network, self.ip)
+        self.tcp = TcpLayer(sim, self.network, self.ip)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def mac_stats(self):
+        """The MAC statistics of this node (Tables 3-8 feed off these)."""
+        return self.mac.stats
+
+    def add_route(self, destination: IpAddress, next_hop: IpAddress) -> None:
+        """Install a static route."""
+        self.routing_table.add_route(destination, next_hop)
+
+    def set_unicast_rate(self, rate_mbps: float) -> None:
+        """Pin the unicast PHY rate of this node's MAC."""
+        rate = self.profile.rate_table.by_mbps(rate_mbps)
+        self.mac.rate_controller.set_rate(rate)
+        self.mac.config.unicast_rate = rate
+
+    def set_broadcast_rate(self, rate_mbps: Optional[float]) -> None:
+        """Pin (or unpin) the broadcast-portion PHY rate of this node's MAC."""
+        if rate_mbps is None:
+            self.mac.config.broadcast_rate = None
+        else:
+            self.mac.config.broadcast_rate = self.profile.rate_table.by_mbps(rate_mbps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.index} ip={self.ip} mac={self.mac_address}>"

@@ -1,0 +1,259 @@
+"""The PHY device: transmit/receive state machine and carrier sensing.
+
+One :class:`Phy` instance belongs to each node.  It talks *down* to the
+shared :class:`~repro.channel.medium.WirelessChannel` and *up* to a
+:class:`PhyListener` (the MAC).  It is deliberately half-duplex: a frame that
+arrives while the node is transmitting is lost, and overlapping receptions
+interfere with each other (SINR-based capture).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Protocol
+
+from repro.errors import PhyError
+from repro.phy.error_model import ErrorModel, ErrorModelConfig
+from repro.phy.frame import FrameKind, PhyFrame, ReceptionResult
+from repro.phy.timing import PhyTimingConfig
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.channel.medium import Transmission, WirelessChannel
+
+
+class PhyListener(Protocol):
+    """Interface the MAC implements to receive PHY notifications."""
+
+    def on_carrier_busy(self) -> None:
+        """The medium became busy (energy above the carrier-sense threshold)."""
+
+    def on_carrier_idle(self) -> None:
+        """The medium became idle."""
+
+    def on_frame_received(self, result: ReceptionResult) -> None:
+        """A frame finished reception and was at least partially decodable."""
+
+    def on_transmit_complete(self, frame: PhyFrame) -> None:
+        """A locally originated frame finished transmission."""
+
+
+class PhyState(enum.Enum):
+    """Coarse state of the PHY."""
+
+    IDLE = "idle"
+    TRANSMITTING = "transmitting"
+    RECEIVING = "receiving"
+
+
+@dataclass
+class PhyConfig:
+    """Static configuration of a PHY device."""
+
+    timing: PhyTimingConfig = field(default_factory=PhyTimingConfig)
+    error: ErrorModelConfig = field(default_factory=ErrorModelConfig)
+    #: Transmit power; the paper uses 7.7 mW ~= 8.9 dBm.
+    tx_power_dbm: float = 8.9
+    #: Energy level above which the medium is reported busy to the MAC.
+    carrier_sense_threshold_dbm: float = -92.0
+    #: Minimum received power for a frame to be decodable at all.
+    reception_threshold_dbm: float = -90.0
+    #: A frame survives interference if it is this many dB above the sum of
+    #: interferers (simple capture model).
+    capture_threshold_db: float = 10.0
+
+
+@dataclass
+class _ReceptionAttempt:
+    """Book-keeping for one in-flight reception."""
+
+    transmission: "Transmission"
+    rx_power_dbm: float
+    interference_mw: float = 0.0
+    doomed: bool = False
+
+    def add_interference_dbm(self, power_dbm: float) -> None:
+        self.interference_mw += 10.0 ** (power_dbm / 10.0)
+
+    @property
+    def interference_dbm(self) -> float:
+        if self.interference_mw <= 0.0:
+            return -math.inf
+        return 10.0 * math.log10(self.interference_mw)
+
+
+class Phy:
+    """Half-duplex PHY with carrier sensing, capture and subframe decoding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: "WirelessChannel",
+        config: Optional[PhyConfig] = None,
+        position: tuple = (0.0, 0.0),
+        name: str = "phy",
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.config = config or PhyConfig()
+        self.position = position
+        self.name = name
+        self.error_model = ErrorModel(self.config.error)
+        self._rng = sim.random.stream(f"phy.{name}")
+        self._listener: Optional[PhyListener] = None
+        self._transmitting = False
+        self._current_tx_frame: Optional[PhyFrame] = None
+        self._receptions: Dict[int, _ReceptionAttempt] = {}
+        self._carrier_count = 0
+        self._carrier_busy_reported = False
+        # statistics
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_collided = 0
+        self.tx_airtime = 0.0
+        channel.register(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_listener(self, listener: PhyListener) -> None:
+        """Attach the MAC (or any :class:`PhyListener`)."""
+        self._listener = listener
+
+    @property
+    def listener(self) -> Optional[PhyListener]:
+        """The attached MAC, if any."""
+        return self._listener
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> PhyState:
+        """Current coarse PHY state."""
+        if self._transmitting:
+            return PhyState.TRANSMITTING
+        if self._receptions:
+            return PhyState.RECEIVING
+        return PhyState.IDLE
+
+    @property
+    def carrier_busy(self) -> bool:
+        """True when the node is transmitting or senses energy on the medium."""
+        return self._transmitting or self._carrier_count > 0
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def send(self, frame: PhyFrame) -> float:
+        """Transmit ``frame``; returns its airtime in seconds."""
+        if self._transmitting:
+            raise PhyError(f"{self.name}: send() while already transmitting")
+        frame.sender = self
+        duration = frame.airtime(self.config.timing)
+        self._transmitting = True
+        self._current_tx_frame = frame
+        self.frames_sent += 1
+        self.tx_airtime += duration
+        # Transmitting while receiving destroys the receptions in progress.
+        for attempt in self._receptions.values():
+            attempt.doomed = True
+        self.channel.broadcast(self, frame, duration, self.config.tx_power_dbm)
+        self.sim.schedule(duration, self._finish_transmission, frame,
+                          priority=Simulator.PRIORITY_PHY)
+        self.sim.tracer.emit(self.name, "phy", "tx_start", kind=frame.kind.value,
+                             bytes=frame.total_bytes, duration=duration)
+        return duration
+
+    def _finish_transmission(self, frame: PhyFrame) -> None:
+        self._transmitting = False
+        self._current_tx_frame = None
+        self.sim.tracer.emit(self.name, "phy", "tx_end", kind=frame.kind.value)
+        if self._listener is not None:
+            self._listener.on_transmit_complete(frame)
+        self._update_carrier()
+
+    # ------------------------------------------------------------------
+    # Receive path (driven by the channel)
+    # ------------------------------------------------------------------
+    def begin_reception(self, transmission: "Transmission", rx_power_dbm: float) -> None:
+        """Called by the channel when a remote transmission starts arriving."""
+        if rx_power_dbm >= self.config.carrier_sense_threshold_dbm:
+            self._carrier_count += 1
+            self._update_carrier()
+
+        decodable = rx_power_dbm >= self.config.reception_threshold_dbm
+        attempt = _ReceptionAttempt(transmission=transmission, rx_power_dbm=rx_power_dbm,
+                                    doomed=not decodable or self._transmitting)
+        # Mutual interference with every reception already in progress.
+        for other in self._receptions.values():
+            other.add_interference_dbm(rx_power_dbm)
+            attempt.add_interference_dbm(other.rx_power_dbm)
+        self._receptions[id(transmission)] = attempt
+
+    def end_reception(self, transmission: "Transmission") -> None:
+        """Called by the channel when a remote transmission stops arriving."""
+        attempt = self._receptions.pop(id(transmission), None)
+        if attempt is None:  # pragma: no cover - defensive
+            return
+        if attempt.rx_power_dbm >= self.config.carrier_sense_threshold_dbm:
+            self._carrier_count = max(0, self._carrier_count - 1)
+        # Transmitting at the instant reception completes also kills it.
+        if self._transmitting:
+            attempt.doomed = True
+        self._deliver(attempt)
+        self._update_carrier()
+
+    def _deliver(self, attempt: _ReceptionAttempt) -> None:
+        frame = attempt.transmission.frame
+        noise_mw = 10.0 ** (self.channel.noise_floor_dbm / 10.0)
+        sinr_db = attempt.rx_power_dbm - 10.0 * math.log10(noise_mw + attempt.interference_mw)
+        captured = True
+        if attempt.interference_mw > 0.0:
+            captured = (attempt.rx_power_dbm - attempt.interference_dbm
+                        >= self.config.capture_threshold_db)
+        collided = attempt.doomed or not captured
+
+        result = ReceptionResult(frame=frame, snr_db=sinr_db, collided=collided)
+        timing = self.config.timing
+        if frame.kind.is_control:
+            result.control_ok = (not collided) and self.error_model.control_frame_survives(
+                self._rng, sinr_db, frame.unicast_rate, frame.control_bytes)
+        else:
+            broadcast_offsets, unicast_offsets = frame.sample_offsets(timing)
+            broadcast_rate = frame.broadcast_rate or frame.unicast_rate
+            for subframe, offset in zip(frame.broadcast_subframes, broadcast_offsets):
+                ok = (not collided) and self.error_model.subframe_survives(
+                    self._rng, sinr_db, broadcast_rate, subframe.size_bytes, offset)
+                result.broadcast_ok.append(ok)
+            for subframe, offset in zip(frame.unicast_subframes, unicast_offsets):
+                ok = (not collided) and self.error_model.subframe_survives(
+                    self._rng, sinr_db, frame.unicast_rate, subframe.size_bytes, offset)
+                result.unicast_ok.append(ok)
+
+        if collided:
+            self.frames_collided += 1
+        self.frames_received += 1
+        self.sim.tracer.emit(self.name, "phy", "rx_end", kind=frame.kind.value,
+                             snr=round(sinr_db, 1), collided=collided)
+        if self._listener is not None and result.any_ok or self._listener is not None and collided:
+            self._listener.on_frame_received(result)
+
+    # ------------------------------------------------------------------
+    # Carrier sense notification
+    # ------------------------------------------------------------------
+    def _update_carrier(self) -> None:
+        busy = self.carrier_busy
+        if busy and not self._carrier_busy_reported:
+            self._carrier_busy_reported = True
+            if self._listener is not None:
+                self._listener.on_carrier_busy()
+        elif not busy and self._carrier_busy_reported:
+            self._carrier_busy_reported = False
+            if self._listener is not None:
+                self._listener.on_carrier_idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Phy {self.name} state={self.state.value}>"

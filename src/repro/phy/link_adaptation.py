@@ -1,0 +1,119 @@
+"""Link adaptation algorithms supported by the Hydra MAC.
+
+The paper notes (Section 4.1.2) that Hydra implements receiver-based auto
+rate (RBAR) and auto-rate fallback (ARF) but that the experiments do not use
+them: every experiment pins the PHY rate.  Both algorithms are implemented
+here for completeness and are exercised by the ablation benchmarks; the MAC
+accepts any object implementing the small :class:`RateController` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.phy.rates import PhyRate, RateTable, required_snr_db
+
+
+class RateController(Protocol):
+    """Interface the MAC uses to pick the unicast data rate."""
+
+    def current_rate(self) -> PhyRate:
+        """Rate to use for the next transmission."""
+
+    def on_success(self) -> None:
+        """The last unicast exchange was acknowledged."""
+
+    def on_failure(self) -> None:
+        """The last unicast exchange failed (no ACK / no CTS)."""
+
+    def on_feedback(self, snr_db: float) -> None:
+        """Explicit channel feedback (e.g. SNR measured from an RTS/CTS exchange)."""
+
+
+class FixedRate:
+    """Trivial controller that always returns the configured rate."""
+
+    def __init__(self, rate: PhyRate) -> None:
+        self._rate = rate
+
+    def current_rate(self) -> PhyRate:
+        return self._rate
+
+    def set_rate(self, rate: PhyRate) -> None:
+        """Change the pinned rate."""
+        self._rate = rate
+
+    def on_success(self) -> None:  # noqa: D102 - protocol no-op
+        pass
+
+    def on_failure(self) -> None:  # noqa: D102 - protocol no-op
+        pass
+
+    def on_feedback(self, snr_db: float) -> None:  # noqa: D102 - protocol no-op
+        pass
+
+
+class AutoRateFallback:
+    """ARF (Kamerman & Monteban): step up after N successes, down after M failures."""
+
+    def __init__(self, table: RateTable, initial: Optional[PhyRate] = None,
+                 success_threshold: int = 10, failure_threshold: int = 2) -> None:
+        self.table = table
+        self._rate = initial or table.base_rate
+        self.success_threshold = success_threshold
+        self.failure_threshold = failure_threshold
+        self._successes = 0
+        self._failures = 0
+        self._probing = False
+
+    def current_rate(self) -> PhyRate:
+        return self._rate
+
+    def on_success(self) -> None:
+        self._failures = 0
+        self._successes += 1
+        self._probing = False
+        if self._successes >= self.success_threshold:
+            self._successes = 0
+            higher = self.table.next_higher(self._rate)
+            if higher is not self._rate:
+                self._rate = higher
+                self._probing = True
+
+    def on_failure(self) -> None:
+        self._successes = 0
+        self._failures += 1
+        # A failure immediately after probing up reverts straight away.
+        if self._probing or self._failures >= self.failure_threshold:
+            self._failures = 0
+            self._probing = False
+            self._rate = self.table.next_lower(self._rate)
+
+    def on_feedback(self, snr_db: float) -> None:
+        """ARF ignores explicit feedback."""
+
+
+class ReceiverBasedAutoRate:
+    """RBAR (Holland, Vaidya, Bahl): pick the fastest rate the measured SNR supports."""
+
+    def __init__(self, table: RateTable, initial: Optional[PhyRate] = None,
+                 margin_db: float = 3.0) -> None:
+        self.table = table
+        self.margin_db = margin_db
+        self._rate = initial or table.base_rate
+
+    def current_rate(self) -> PhyRate:
+        return self._rate
+
+    def on_success(self) -> None:
+        """RBAR adapts only on explicit feedback."""
+
+    def on_failure(self) -> None:
+        """RBAR adapts only on explicit feedback."""
+
+    def on_feedback(self, snr_db: float) -> None:
+        chosen = self.table.base_rate
+        for rate in self.table:
+            if snr_db - self.margin_db >= required_snr_db(rate):
+                chosen = rate
+        self._rate = chosen

@@ -1,0 +1,94 @@
+"""Event objects used by the discrete-event scheduler.
+
+An :class:`Event` is an immutable record of *when* a callback should fire and
+with which arguments.  :class:`EventHandle` is the user-facing token returned
+by :meth:`repro.sim.simulator.Simulator.schedule`; it supports cancellation
+and introspection without exposing the scheduler internals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+#: Monotone counter used to break ties between events scheduled for the same
+#: simulated time.  Ties are broken in scheduling order (FIFO), which keeps
+#: protocol state machines deterministic.
+_sequence = itertools.count()
+
+
+def next_sequence() -> int:
+    """Return the next global event sequence number."""
+    return next(_sequence)
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)``; the callback and its
+    arguments do not participate in the ordering.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the scheduler will skip it."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback (the scheduler calls this, not user code)."""
+        return self.callback(*self.args)
+
+
+class EventHandle:
+    """Opaque handle for a scheduled event.
+
+    The handle remains valid after the event has fired; :attr:`active` then
+    becomes ``False``.
+    """
+
+    __slots__ = ("_event", "_fired")
+
+    def __init__(self, event: Event):
+        self._event = event
+        self._fired = False
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (or was) scheduled to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event was cancelled before firing."""
+        return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has been invoked."""
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not fired, not cancelled)."""
+        return not self._fired and not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        if not self._fired:
+            self._event.cancel()
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<EventHandle t={self._event.time:.6f} {state}>"

@@ -1,0 +1,125 @@
+"""Measurement monitors.
+
+Three small helpers used throughout the statistics layer:
+
+* :class:`CounterMonitor` — named integer/float counters.
+* :class:`TimeSeriesMonitor` — records ``(time, value)`` samples and computes
+  simple summary statistics.
+* :class:`TimeWeightedMonitor` — tracks a piecewise-constant quantity (queue
+  length, channel busy state) and integrates it over time so that averages
+  are weighted by how long each value persisted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.simulator import Simulator
+
+
+class CounterMonitor:
+    """A bag of named counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero on first use)."""
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of all counters."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+
+class TimeSeriesMonitor:
+    """Records explicit ``(time, value)`` observations."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation."""
+        self.samples.append((time, value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.samples)
+
+    @property
+    def values(self) -> List[float]:
+        """The observed values, in recording order."""
+        return [v for _, v in self.samples]
+
+    def mean(self) -> float:
+        """Arithmetic mean of the observed values (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.values) / len(self.samples)
+
+    def total(self) -> float:
+        """Sum of the observed values."""
+        return sum(self.values)
+
+    def minimum(self) -> float:
+        """Smallest observed value (NaN when empty)."""
+        return min(self.values) if self.samples else math.nan
+
+    def maximum(self) -> float:
+        """Largest observed value (NaN when empty)."""
+        return max(self.values) if self.samples else math.nan
+
+    def stddev(self) -> float:
+        """Population standard deviation of the observed values."""
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / len(self.samples))
+
+
+class TimeWeightedMonitor:
+    """Integrates a piecewise-constant value over simulated time."""
+
+    def __init__(self, sim: Simulator, initial: float = 0.0, name: str = "level") -> None:
+        self.name = name
+        self._sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._weighted_sum = 0.0
+        self._start_time = sim.now
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the level, accumulating the time spent at the previous one."""
+        now = self._sim.now
+        self._weighted_sum += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def adjust(self, delta: float) -> None:
+        """Add ``delta`` to the current level."""
+        self.set(self._value + delta)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted average of the level since construction."""
+        end = self._sim.now if until is None else until
+        elapsed = end - self._start_time
+        if elapsed <= 0:
+            return self._value
+        total = self._weighted_sum + self._value * (end - self._last_change)
+        return total / elapsed

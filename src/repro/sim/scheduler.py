@@ -1,0 +1,88 @@
+"""Binary-heap event scheduler.
+
+The scheduler is deliberately small: a heap of :class:`~repro.sim.events.Event`
+objects ordered by ``(time, priority, sequence)``.  Cancellation is lazy —
+cancelled events stay in the heap and are discarded when popped — which keeps
+both operations O(log n) without bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event, EventHandle, next_sequence
+
+
+class Scheduler:
+    """Priority queue of pending simulation events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._pending = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (not cancelled) events still queued."""
+        return self._pending
+
+    @property
+    def empty(self) -> bool:
+        """True when no live events remain."""
+        return self._pending == 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> EventHandle:
+        """Queue ``callback(*args)`` to run at simulated ``time``.
+
+        ``priority`` breaks ties at equal times (lower runs first); equal
+        priorities run in scheduling order.
+        """
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            sequence=next_sequence(),
+            callback=callback,
+            args=tuple(args),
+        )
+        heapq.heappush(self._heap, event)
+        self._pending += 1
+        return EventHandle(event)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (no-op if already fired)."""
+        if handle.active:
+            handle.cancel()
+            self._pending -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._pending -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._pending = 0
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

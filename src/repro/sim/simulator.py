@@ -1,0 +1,162 @@
+"""The simulation clock and run loop.
+
+:class:`Simulator` owns a :class:`~repro.sim.scheduler.Scheduler`, the current
+simulated time, the root random-number streams and the tracer.  Every other
+component in the library holds a reference to a ``Simulator`` and interacts
+with time exclusively through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle
+from repro.sim.randomness import RandomStreams
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all random streams derived from this simulator.
+    trace_enabled:
+        When true, components may emit :class:`~repro.sim.trace.TraceRecord`
+        entries through :attr:`tracer`; tracing is off by default because the
+        experiments generate millions of events.
+    """
+
+    #: Event priorities.  Lower values fire first at equal times.  PHY events
+    #: fire before MAC events which fire before application events so that a
+    #: frame that finishes reception at time *t* is processed before a timer
+    #: that expires at the same instant.
+    PRIORITY_PHY = 0
+    PRIORITY_MAC = 10
+    PRIORITY_NET = 20
+    PRIORITY_APP = 30
+    PRIORITY_DEFAULT = 50
+
+    def __init__(self, seed: int = 1, trace_enabled: bool = False) -> None:
+        self._now = 0.0
+        self._scheduler = Scheduler()
+        self._running = False
+        self._stopped = False
+        self.random = RandomStreams(seed)
+        self.tracer = Tracer(self, enabled=trace_enabled)
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._scheduler)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._scheduler.push(self._now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        return self._scheduler.push(time, callback, args, priority)
+
+    def cancel(self, handle: Optional[EventHandle]) -> None:
+        """Cancel a pending event; ``None`` and already-fired handles are ignored."""
+        if handle is not None:
+            self._scheduler.cancel(handle)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or ``stop()``.
+
+        Returns the simulated time at which the run loop exited.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        try:
+            while not self._stopped:
+                next_time = self._scheduler.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._scheduler.pop()
+                if event is None:  # pragma: no cover - guarded by peek_time
+                    break
+                self._now = event.time
+                event.fire()
+                self._events_processed += 1
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+            else:
+                pass
+            if until is not None and not self._stopped and self._scheduler.empty:
+                # Queue drained before the horizon: advance the clock to it.
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero.
+
+        Random streams are *not* re-seeded; construct a new simulator for a
+        fully fresh run.
+        """
+        self._scheduler.clear()
+        self._now = 0.0
+        self._stopped = False
+        self._events_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={self._now:.6f}s pending={self.pending_events} "
+            f"processed={self._events_processed}>"
+        )

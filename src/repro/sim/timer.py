@@ -1,0 +1,129 @@
+"""Restartable one-shot timers.
+
+Protocol code (MAC retransmission timeouts, TCP RTO, DBA flush timers, CBR
+sources) needs timers that can be started, restarted and cancelled without the
+caller tracking :class:`~repro.sim.events.EventHandle` objects by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle
+from repro.sim.simulator import Simulator
+
+
+class Timer:
+    """A cancellable, restartable one-shot timer.
+
+    The callback is invoked with no arguments when the timer expires.  Calling
+    :meth:`start` while the timer is running restarts it (the previous
+    expiration is cancelled).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], Any],
+        priority: int = Simulator.PRIORITY_DEFAULT,
+        name: str = "timer",
+    ) -> None:
+        if not callable(callback):
+            raise SimulationError("timer callback must be callable")
+        self._sim = sim
+        self._callback = callback
+        self._priority = priority
+        self._handle: Optional[EventHandle] = None
+        self.name = name
+        self.expirations = 0
+
+    @property
+    def running(self) -> bool:
+        """True while an expiration is pending."""
+        return self._handle is not None and self._handle.active
+
+    @property
+    def expiry_time(self) -> Optional[float]:
+        """Absolute simulated time of the pending expiration, if any."""
+        if self.running:
+            return self._handle.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire, priority=self._priority)
+
+    def cancel(self) -> None:
+        """Disarm the timer if it is running (idempotent)."""
+        if self._handle is not None:
+            self._sim.cancel(self._handle)
+            self._handle = None
+
+    def remaining(self) -> float:
+        """Seconds until expiration (0.0 when not running)."""
+        if not self.running:
+            return 0.0
+        return max(0.0, self._handle.time - self._sim.now)
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.expirations += 1
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"expires@{self._handle.time:.6f}" if self.running else "idle"
+        return f"<Timer {self.name} {state}>"
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself with a fixed period until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        priority: int = Simulator.PRIORITY_DEFAULT,
+        name: str = "periodic",
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._period = period
+        self._callback = callback
+        self._timer = Timer(sim, self._tick, priority=priority, name=name)
+        self.ticks = 0
+
+    @property
+    def period(self) -> float:
+        """Current period in seconds."""
+        return self._period
+
+    @period.setter
+    def period(self, value: float) -> None:
+        if value <= 0:
+            raise SimulationError(f"period must be positive, got {value}")
+        self._period = value
+
+    @property
+    def running(self) -> bool:
+        """True while ticks are scheduled."""
+        return self._timer.running
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start ticking; the first tick fires after ``initial_delay`` (default: one period)."""
+        delay = self._period if initial_delay is None else initial_delay
+        self._timer.start(delay)
+
+    def stop(self) -> None:
+        """Stop ticking (idempotent)."""
+        self._timer.cancel()
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        self._callback()
+        # The callback may have stopped the timer; only re-arm if it did not
+        # start it itself and we are still meant to be running.
+        if not self._timer.running:
+            self._timer.start(self._period)

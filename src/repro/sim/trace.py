@@ -1,0 +1,75 @@
+"""Event tracing.
+
+The tracer is a cheap, optional sink for structured trace records emitted by
+protocol layers (frame transmissions, MAC state transitions, TCP events).  It
+is disabled by default; experiments enable it selectively when debugging or
+when a statistic needs the raw event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+@dataclass
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    source: str
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"{self.time * 1e3:10.3f}ms [{self.source}] {self.category}.{self.event} {extras}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries and dispatches them to listeners."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = False, max_records: Optional[int] = None) -> None:
+        self._sim = sim
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callable invoked for every record (even when storage is full)."""
+        self._listeners.append(listener)
+
+    def emit(self, source: str, category: str, event: str, **fields: Any) -> None:
+        """Record a trace event if tracing is enabled."""
+        if not self.enabled:
+            return
+        record = TraceRecord(
+            time=self._sim.now, source=source, category=category, event=event, fields=fields
+        )
+        if self.max_records is None or len(self.records) < self.max_records:
+            self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def filter(self, category: Optional[str] = None, event: Optional[str] = None,
+               source: Optional[str] = None) -> List[TraceRecord]:
+        """Return stored records matching the given category/event/source."""
+        result = []
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if event is not None and record.event != event:
+                continue
+            if source is not None and record.source != source:
+                continue
+            result.append(record)
+        return result
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self.records.clear()

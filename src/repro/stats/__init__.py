@@ -1,0 +1,13 @@
+"""Result collection and formatting."""
+
+from repro.stats.results import ExperimentResult, Series, TableResult
+from repro.stats.collect import relay_detail, node_frame_sizes, transmission_percentages
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "TableResult",
+    "relay_detail",
+    "node_frame_sizes",
+    "transmission_percentages",
+]

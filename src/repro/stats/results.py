@@ -1,0 +1,134 @@
+"""Result containers shared by the experiment runners and benchmarks.
+
+The paper reports two kinds of results: *figures* (throughput series over a
+swept parameter, for several protocol variants) and *tables* (per-node or
+per-variant scalar metrics).  :class:`Series` and :class:`TableResult` model
+those two shapes and render themselves as aligned plain-text tables so that
+benchmark output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One curve of a figure: y-values of one variant over the swept x-values."""
+
+    label: str
+    x_values: List[float] = field(default_factory=list)
+    y_values: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append a point."""
+        self.x_values.append(x)
+        self.y_values.append(y)
+
+    def value_at(self, x: float, tolerance: float = 1e-9) -> float:
+        """The y-value recorded at ``x`` (raises if absent)."""
+        for xv, yv in zip(self.x_values, self.y_values):
+            if abs(xv - x) <= tolerance:
+                return yv
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+    @property
+    def peak(self) -> float:
+        """Largest y-value (0 when empty)."""
+        return max(self.y_values) if self.y_values else 0.0
+
+
+@dataclass
+class TableResult:
+    """A table: named rows of named-column values."""
+
+    title: str
+    columns: List[str]
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_row(self, name: str, values: Sequence[float]) -> None:
+        """Add a row (must have one value per column)."""
+        self.rows[name] = list(values)
+
+    def cell(self, row: str, column: str) -> float:
+        """Value at ``(row, column)``."""
+        return self.rows[row][self.columns.index(column)]
+
+    def to_text(self, float_format: str = "{:.3f}") -> str:
+        """Render the table as aligned plain text."""
+        header = [self.title] + list(self.columns)
+        lines = ["  ".join(f"{h:>14}" for h in header)]
+        for name, values in self.rows.items():
+            cells = [f"{name:>14}"]
+            for value in values:
+                cells.append(f"{float_format.format(value):>14}")
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """The full outcome of one experiment (one paper figure or table)."""
+
+    experiment_id: str
+    description: str
+    #: Figure-style results: one series per protocol variant.
+    series: Dict[str, Series] = field(default_factory=dict)
+    #: Table-style results.
+    tables: List[TableResult] = field(default_factory=list)
+    #: Free-form scalar observations (e.g. "max BA/UA gap %").
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> Series:
+        """Register a series under its label."""
+        self.series[series.label] = series
+        return series
+
+    def get_series(self, label: str) -> Series:
+        """Fetch a series by label."""
+        return self.series[label]
+
+    def add_table(self, table: TableResult) -> TableResult:
+        """Register a table."""
+        self.tables.append(table)
+        return table
+
+    def add_metric(self, name: str, value: float) -> None:
+        """Record a scalar metric."""
+        self.metrics[name] = value
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note."""
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Render the whole result as plain text (benchmarks print this)."""
+        lines = [f"== {self.experiment_id}: {self.description} =="]
+        if self.series:
+            x_values: Optional[List[float]] = None
+            for series in self.series.values():
+                x_values = series.x_values
+                break
+            header = ["x"] + [label for label in self.series]
+            lines.append("  ".join(f"{h:>12}" for h in header))
+            for i, x in enumerate(x_values or []):
+                row = [f"{x:>12.3f}"]
+                for series in self.series.values():
+                    value = series.y_values[i] if i < len(series.y_values) else float("nan")
+                    row.append(f"{value:>12.4f}")
+                lines.append("  ".join(row))
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.to_text())
+        if self.metrics:
+            lines.append("")
+            for name, value in self.metrics.items():
+                lines.append(f"  {name}: {value:.4f}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Topology builders: the linear chains and star used in the paper."""
+
+from repro.topology.network import Network
+from repro.topology.builders import build_linear_chain, build_star
+
+__all__ = ["Network", "build_linear_chain", "build_star"]

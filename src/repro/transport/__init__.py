@@ -1,0 +1,17 @@
+"""Transport layer: UDP and a NewReno-style TCP implementation."""
+
+from repro.transport.udp import UdpLayer, UdpSocket
+from repro.transport.tcp.connection import TcpConnection, TcpState
+from repro.transport.tcp.layer import TcpLayer
+from repro.transport.tcp.congestion import NewRenoCongestionControl
+from repro.transport.tcp.rtt import RttEstimator
+
+__all__ = [
+    "UdpLayer",
+    "UdpSocket",
+    "TcpLayer",
+    "TcpConnection",
+    "TcpState",
+    "NewRenoCongestionControl",
+    "RttEstimator",
+]

@@ -1,0 +1,14 @@
+"""NewReno-style TCP implementation used by the file-transfer experiments."""
+
+from repro.transport.tcp.congestion import NewRenoCongestionControl
+from repro.transport.tcp.connection import TcpConnection, TcpState
+from repro.transport.tcp.layer import TcpLayer
+from repro.transport.tcp.rtt import RttEstimator
+
+__all__ = [
+    "NewRenoCongestionControl",
+    "TcpConnection",
+    "TcpState",
+    "TcpLayer",
+    "RttEstimator",
+]

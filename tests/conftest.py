@@ -1,0 +1,30 @@
+"""Shared pytest fixtures.
+
+Adds ``src/`` to ``sys.path`` so the test suite runs even when the package has
+not been installed (the repository also ships a ``.pth``-based dev install).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def traced_sim() -> Simulator:
+    """A simulator with tracing enabled (for tests that inspect trace records)."""
+    return Simulator(seed=42, trace_enabled=True)

@@ -1,0 +1,169 @@
+"""Integration tests: applications over the full stack and topology builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cbr import PAPER_UDP_PAYLOAD_BYTES, CbrSource, UdpSink
+from repro.apps.file_transfer import run_file_transfer_pair
+from repro.core import broadcast_aggregation, no_aggregation, unicast_aggregation
+from repro.errors import ConfigurationError
+from repro.node.hydra import default_hydra_profile
+from repro.sim import Simulator
+from repro.topology import build_linear_chain, build_star
+from repro.units import mbps
+
+
+# ---------------------------------------------------------------------------
+# Topology builders
+# ---------------------------------------------------------------------------
+
+def test_linear_chain_structure():
+    sim = Simulator(seed=51)
+    network = build_linear_chain(sim, hops=3, policy=broadcast_aggregation())
+    assert len(network) == 4
+    assert [node.index for node in network.nodes] == [1, 2, 3, 4]
+    # Static routes: node 1 reaches node 4 via node 2.
+    assert network.node(1).routing_table.next_hop(network.node(4).ip) == network.node(2).ip
+    assert network.node(4).routing_table.next_hop(network.node(1).ip) == network.node(3).ip
+    # Adjacent spacing is the paper's 2.5 m.
+    assert network.node(2).position[0] - network.node(1).position[0] == pytest.approx(2.5)
+
+
+def test_linear_chain_rejects_zero_hops():
+    sim = Simulator(seed=52)
+    with pytest.raises(ConfigurationError):
+        build_linear_chain(sim, hops=0, policy=broadcast_aggregation())
+
+
+def test_star_structure_and_routes():
+    sim = Simulator(seed=53)
+    network = build_star(sim, policy=broadcast_aggregation())
+    assert len(network) == 4
+    centre = network.node(2)
+    # Leaves route to each other through the centre.
+    assert network.node(3).routing_table.next_hop(network.node(1).ip) == centre.ip
+    assert network.node(4).routing_table.next_hop(network.node(1).ip) == centre.ip
+    assert centre.routing_table.next_hop(network.node(1).ip) == network.node(1).ip
+
+
+def test_per_node_policy_mapping():
+    sim = Simulator(seed=54)
+    from repro.core import delayed_broadcast_aggregation
+    policies = {1: broadcast_aggregation(), 2: delayed_broadcast_aggregation(),
+                3: broadcast_aggregation()}
+    network = build_linear_chain(sim, hops=2, policy=policies)
+    assert network.node(2).policy.is_delayed
+    assert not network.node(1).policy.is_delayed
+    with pytest.raises(ConfigurationError):
+        build_linear_chain(sim, hops=3, policy=policies)  # node 4 missing
+
+
+def test_hydra_profile_defaults_match_paper_table1():
+    profile = default_hydra_profile()
+    assert [round(r.data_rate_mbps, 2) for r in profile.rate_table][:4] == [0.65, 1.3, 1.95, 2.6]
+    assert profile.tx_power_dbm == pytest.approx(8.9, abs=0.2)  # 7.7 mW
+    assert profile.use_rts_cts
+    resolved = profile.with_rates(2.6, 0.65)
+    assert resolved.unicast_rate().data_rate_mbps == 2.6
+    assert resolved.broadcast_rate().data_rate_mbps == 0.65
+    assert profile.broadcast_rate() is None
+
+
+def test_network_rate_setters():
+    sim = Simulator(seed=55)
+    network = build_linear_chain(sim, hops=2, policy=broadcast_aggregation(),
+                                 unicast_rate_mbps=0.65)
+    network.set_unicast_rate(2.6)
+    network.set_broadcast_rate(1.3)
+    for node in network.nodes:
+        assert node.mac.unicast_rate.data_rate_mbps == 2.6
+        assert node.mac.broadcast_rate.data_rate_mbps == 1.3
+
+
+# ---------------------------------------------------------------------------
+# CBR / sink over the stack
+# ---------------------------------------------------------------------------
+
+def test_cbr_source_and_sink_measure_goodput():
+    sim = Simulator(seed=56)
+    network = build_linear_chain(sim, hops=2, policy=unicast_aggregation(),
+                                 unicast_rate_mbps=1.3)
+    sink = UdpSink(network.node(3))
+    source = CbrSource(network.node(1), network.node(3).ip, interval=0.05)
+    source.start()
+    sim.run(until=5.0)
+    assert sink.packets_received > 50
+    assert sink.throughput_mbps(0.0, 5.0) > 0.1
+    assert source.offered_load_bps == pytest.approx(PAPER_UDP_PAYLOAD_BYTES * 8 / 0.05)
+    source.stop()
+
+
+def test_saturating_source_fills_the_pipe():
+    sim = Simulator(seed=57)
+    network = build_linear_chain(sim, hops=2, policy=unicast_aggregation(),
+                                 unicast_rate_mbps=0.65)
+    sink = UdpSink(network.node(3))
+    source = CbrSource.saturating(network.node(1), network.node(3).ip,
+                                  link_rate_bps=mbps(0.65))
+    source.start(0.001)
+    sim.run(until=10.0)
+    throughput = sink.throughput_mbps(0.0, 10.0)
+    # A 2-hop path at 0.65 Mbps PHY rate yields roughly a quarter of the PHY rate.
+    assert 0.15 < throughput < 0.45
+    # Queues must have built up at the source for aggregation to engage.
+    assert network.node(1).mac_stats.average_subframes_per_frame > 1.5
+
+
+def test_cbr_validation():
+    sim = Simulator(seed=58)
+    network = build_linear_chain(sim, hops=1, policy=no_aggregation())
+    with pytest.raises(ConfigurationError):
+        CbrSource(network.node(1), network.node(2).ip, interval=0.0)
+    with pytest.raises(ConfigurationError):
+        CbrSource(network.node(1), network.node(2).ip, payload_bytes=0, local_port=9100)
+
+
+# ---------------------------------------------------------------------------
+# File transfer over the stack
+# ---------------------------------------------------------------------------
+
+def test_file_transfer_completes_and_reports_throughput():
+    sim = Simulator(seed=59)
+    network = build_linear_chain(sim, hops=2, policy=broadcast_aggregation(),
+                                 unicast_rate_mbps=1.3)
+    sender, receiver = run_file_transfer_pair(network.node(1), network.node(3),
+                                              file_bytes=60_000)
+    sim.run(until=60.0)
+    assert receiver.complete
+    assert receiver.bytes_received >= 60_000
+    assert receiver.throughput_mbps(0.0) > 0.1
+    assert sender.finished
+
+
+def test_classified_acks_flow_through_relay_broadcast_queue():
+    """The relay forwards TCP ACKs via its broadcast queue when BA is enabled."""
+    sim = Simulator(seed=60)
+    network = build_linear_chain(sim, hops=2, policy=broadcast_aggregation(),
+                                 unicast_rate_mbps=1.3)
+    _, receiver = run_file_transfer_pair(network.node(1), network.node(3), file_bytes=60_000)
+    sim.run(until=60.0)
+    relay = network.node(2)
+    assert receiver.complete
+    assert relay.mac_stats.classified_ack_subframes_sent > 10
+    assert relay.mac_stats.broadcast_subframes_sent > 10
+
+
+def test_na_ua_ba_throughput_ordering_2hop():
+    """The paper's headline qualitative result: NA < UA < BA."""
+    throughputs = {}
+    for name, policy in (("NA", no_aggregation()), ("UA", unicast_aggregation()),
+                         ("BA", broadcast_aggregation())):
+        sim = Simulator(seed=61)
+        network = build_linear_chain(sim, hops=2, policy=policy, unicast_rate_mbps=2.6)
+        _, receiver = run_file_transfer_pair(network.node(1), network.node(3),
+                                             file_bytes=100_000)
+        sim.run(until=120.0)
+        assert receiver.complete
+        throughputs[name] = receiver.throughput_mbps(0.0)
+    assert throughputs["NA"] < throughputs["UA"] < throughputs["BA"]

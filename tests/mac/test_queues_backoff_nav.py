@@ -1,0 +1,198 @@
+"""Unit tests for the MAC transmit queues, backoff controller and NAV."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mac.addresses import BROADCAST_MAC, MacAddress
+from repro.mac.backoff import BackoffController
+from repro.mac.frames import subframe_for_packet
+from repro.mac.nav import NetworkAllocationVector
+from repro.mac.queues import TransmitQueues
+from repro.mac.timing import HYDRA_MAC_TIMING, MacTimingProfile
+from repro.net.address import IpAddress
+from repro.net.packet import Packet, TcpHeader
+from repro.errors import ConfigurationError
+
+
+def make_subframe(dst_index=2, payload=1357):
+    header = TcpHeader(src_port=1, dst_port=2, flags_ack=True)
+    packet = Packet.tcp_segment(IpAddress("10.0.0.1"), IpAddress("10.0.0.9"), header,
+                                payload_bytes=payload)
+    dst = BROADCAST_MAC if dst_index is None else MacAddress.node(dst_index)
+    return subframe_for_packet(packet, MacAddress.node(1), dst)
+
+
+# ---------------------------------------------------------------------------
+# TransmitQueues
+# ---------------------------------------------------------------------------
+
+def test_enqueue_and_counts():
+    queues = TransmitQueues(capacity=4)
+    assert queues.empty
+    queues.enqueue_unicast(make_subframe())
+    queues.enqueue_broadcast(make_subframe(dst_index=None))
+    assert queues.unicast_count == 1
+    assert queues.broadcast_count == 1
+    assert queues.total_count == 2
+    assert not queues.empty
+
+
+def test_queue_capacity_drops():
+    queues = TransmitQueues(capacity=2)
+    assert queues.enqueue_unicast(make_subframe())
+    assert queues.enqueue_unicast(make_subframe())
+    assert not queues.enqueue_unicast(make_subframe())
+    assert queues.drops_unicast == 1
+    assert queues.enqueue_broadcast(make_subframe(dst_index=None))
+
+
+def test_head_unicast_destination_and_take():
+    queues = TransmitQueues()
+    to2a, to3, to2b = make_subframe(2), make_subframe(3), make_subframe(2)
+    for sf in (to2a, to3, to2b):
+        queues.enqueue_unicast(sf)
+    assert queues.head_unicast_destination() == MacAddress.node(2)
+    taken = queues.take_unicast_for(MacAddress.node(2), max_subframes=5, fits=lambda sf: True)
+    assert taken == [to2a, to2b]
+    # The non-matching subframe stays, in order.
+    assert queues.peek_unicast() == [to3]
+
+
+def test_take_unicast_respects_max_and_fits():
+    queues = TransmitQueues()
+    subframes = [make_subframe(2) for _ in range(4)]
+    for sf in subframes:
+        queues.enqueue_unicast(sf)
+    taken = queues.take_unicast_for(MacAddress.node(2), max_subframes=2, fits=lambda sf: True)
+    assert len(taken) == 2
+    assert queues.unicast_count == 2
+    # fits() can veto subframes.
+    taken = queues.take_unicast_for(MacAddress.node(2), max_subframes=5, fits=lambda sf: False)
+    assert taken == []
+    assert queues.unicast_count == 2
+
+
+def test_requeue_unicast_front_preserves_order():
+    queues = TransmitQueues()
+    first, second = make_subframe(2), make_subframe(2)
+    queues.enqueue_unicast(make_subframe(3))
+    queues.requeue_unicast_front([first, second])
+    assert queues.peek_unicast()[0] is first
+    assert queues.peek_unicast()[1] is second
+
+
+def test_pop_broadcast_head_fifo():
+    queues = TransmitQueues()
+    a, b = make_subframe(dst_index=None), make_subframe(dst_index=None)
+    queues.enqueue_broadcast(a)
+    queues.enqueue_broadcast(b)
+    assert queues.pop_broadcast_head() is a
+    assert queues.pop_broadcast_head() is b
+    assert queues.pop_broadcast_head() is None
+
+
+def test_clear():
+    queues = TransmitQueues()
+    queues.enqueue_unicast(make_subframe())
+    queues.enqueue_broadcast(make_subframe(dst_index=None))
+    queues.clear()
+    assert queues.empty
+
+
+# ---------------------------------------------------------------------------
+# BackoffController
+# ---------------------------------------------------------------------------
+
+def test_backoff_draw_within_window():
+    backoff = BackoffController(HYDRA_MAC_TIMING, random.Random(1))
+    for _ in range(100):
+        slots = backoff.draw()
+        assert 0 <= slots < HYDRA_MAC_TIMING.cw_min
+
+
+def test_backoff_doubles_and_caps():
+    timing = MacTimingProfile(cw_min=16, cw_max=64)
+    backoff = BackoffController(timing, random.Random(1))
+    backoff.on_failure()
+    assert backoff.contention_window == 32
+    backoff.on_failure()
+    assert backoff.contention_window == 64
+    backoff.on_failure()
+    assert backoff.contention_window == 64
+    backoff.on_success()
+    assert backoff.contention_window == 16
+
+
+def test_backoff_consume_and_expired():
+    backoff = BackoffController(HYDRA_MAC_TIMING, random.Random(3))
+    backoff.slots_remaining = 5
+    backoff.consume(3)
+    assert backoff.slots_remaining == 2
+    backoff.consume(10)
+    assert backoff.slots_remaining == 0
+    assert backoff.expired
+
+
+# ---------------------------------------------------------------------------
+# MacTimingProfile
+# ---------------------------------------------------------------------------
+
+def test_difs_is_sifs_plus_two_slots():
+    timing = MacTimingProfile(sifs=1e-4, slot_time=5e-5)
+    assert timing.difs == pytest.approx(2e-4)
+    assert timing.eifs > timing.difs
+
+
+def test_timing_validation():
+    with pytest.raises(ConfigurationError):
+        MacTimingProfile(sifs=0)
+    with pytest.raises(ConfigurationError):
+        MacTimingProfile(cw_min=0)
+    with pytest.raises(ConfigurationError):
+        MacTimingProfile(cw_min=32, cw_max=16)
+
+
+def test_response_timeout_includes_guard():
+    timing = HYDRA_MAC_TIMING
+    assert timing.response_timeout(0.001) == pytest.approx(timing.sifs + 0.001 + timing.timeout_guard)
+
+
+# ---------------------------------------------------------------------------
+# NetworkAllocationVector
+# ---------------------------------------------------------------------------
+
+def test_nav_reserves_medium(sim):
+    nav = NetworkAllocationVector(sim)
+    assert not nav.busy
+    nav.update(0.5)
+    assert nav.busy
+    assert nav.remaining() == pytest.approx(0.5)
+
+
+def test_nav_extends_only_forward(sim):
+    nav = NetworkAllocationVector(sim)
+    nav.update(0.5)
+    nav.update(0.2)  # shorter reservation must not shrink the NAV
+    assert nav.until == pytest.approx(0.5)
+    nav.update(1.0)
+    assert nav.until == pytest.approx(1.0)
+
+
+def test_nav_expiry_callback(sim):
+    fired = []
+    nav = NetworkAllocationVector(sim, on_expire=lambda: fired.append(sim.now))
+    nav.update(0.25)
+    sim.run()
+    assert fired == [pytest.approx(0.25)]
+    assert not nav.busy
+
+
+def test_nav_clear(sim):
+    nav = NetworkAllocationVector(sim, on_expire=lambda: None)
+    nav.update(1.0)
+    nav.clear()
+    assert not nav.busy
+    assert nav.remaining() == 0.0

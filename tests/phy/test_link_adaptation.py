@@ -1,0 +1,78 @@
+"""Unit tests for ARF and RBAR link adaptation."""
+
+from __future__ import annotations
+
+from repro.phy.link_adaptation import AutoRateFallback, FixedRate, ReceiverBasedAutoRate
+from repro.phy.rates import hydra_rate_table
+
+TABLE = hydra_rate_table()
+
+
+def test_fixed_rate_never_changes():
+    controller = FixedRate(TABLE.by_mbps(1.3))
+    controller.on_failure()
+    controller.on_success()
+    controller.on_feedback(30.0)
+    assert controller.current_rate().data_rate_mbps == 1.3
+    controller.set_rate(TABLE.by_mbps(2.6))
+    assert controller.current_rate().data_rate_mbps == 2.6
+
+
+def test_arf_steps_up_after_consecutive_successes():
+    arf = AutoRateFallback(TABLE, initial=TABLE.base_rate, success_threshold=3)
+    for _ in range(3):
+        arf.on_success()
+    assert arf.current_rate().name == "MCS1"
+
+
+def test_arf_steps_down_after_failures():
+    arf = AutoRateFallback(TABLE, initial=TABLE.by_name("MCS3"), failure_threshold=2)
+    arf.on_failure()
+    assert arf.current_rate().name == "MCS3"
+    arf.on_failure()
+    assert arf.current_rate().name == "MCS2"
+
+
+def test_arf_probe_failure_reverts_immediately():
+    arf = AutoRateFallback(TABLE, initial=TABLE.base_rate, success_threshold=2)
+    arf.on_success()
+    arf.on_success()
+    assert arf.current_rate().name == "MCS1"  # probing
+    arf.on_failure()
+    assert arf.current_rate().name == "MCS0"
+
+
+def test_arf_does_not_step_below_base_or_above_max():
+    arf = AutoRateFallback(TABLE, initial=TABLE.base_rate, failure_threshold=1)
+    arf.on_failure()
+    assert arf.current_rate() is TABLE.base_rate
+    arf_top = AutoRateFallback(TABLE, initial=TABLE.max_rate, success_threshold=1)
+    arf_top.on_success()
+    assert arf_top.current_rate() is TABLE.max_rate
+
+
+def test_rbar_selects_rate_from_snr_feedback():
+    rbar = ReceiverBasedAutoRate(TABLE, margin_db=0.0)
+    rbar.on_feedback(5.0)
+    assert rbar.current_rate().name == "MCS0"
+    rbar.on_feedback(15.0)
+    assert rbar.current_rate().name == "MCS3"
+    rbar.on_feedback(40.0)
+    assert rbar.current_rate().name == "MCS7"
+
+
+def test_rbar_margin_is_conservative():
+    aggressive = ReceiverBasedAutoRate(TABLE, margin_db=0.0)
+    conservative = ReceiverBasedAutoRate(TABLE, margin_db=6.0)
+    aggressive.on_feedback(20.0)
+    conservative.on_feedback(20.0)
+    assert (conservative.current_rate().data_rate_bps
+            <= aggressive.current_rate().data_rate_bps)
+
+
+def test_rbar_ignores_success_failure_signals():
+    rbar = ReceiverBasedAutoRate(TABLE)
+    rate_before = rbar.current_rate()
+    rbar.on_success()
+    rbar.on_failure()
+    assert rbar.current_rate() is rate_before

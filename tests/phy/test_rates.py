@@ -1,0 +1,72 @@
+"""Unit tests for the Hydra rate table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.rates import (
+    HYDRA_BASE_RATE,
+    HYDRA_SISO_RATES,
+    RateTable,
+    hydra_rate_table,
+    required_snr_db,
+)
+
+
+def test_hydra_siso_rates_match_table1_of_paper():
+    expected = [0.65, 1.30, 1.95, 2.60, 3.90, 5.20, 5.85, 6.50]
+    assert [round(r.data_rate_mbps, 2) for r in HYDRA_SISO_RATES] == expected
+
+
+def test_base_rate_is_bpsk_half():
+    assert HYDRA_BASE_RATE.data_rate_mbps == pytest.approx(0.65)
+    assert HYDRA_BASE_RATE.modulation.label == "BPSK"
+    assert str(HYDRA_BASE_RATE.coding) == "1/2"
+
+
+def test_transmission_time():
+    rate = hydra_rate_table().by_mbps(1.3)
+    assert rate.transmission_time(1300) == pytest.approx(1300 * 8 / 1.3e6)
+    assert rate.bits_in_time(1.0) == pytest.approx(1.3e6)
+
+
+def test_rate_table_lookup_by_name_and_mbps():
+    table = hydra_rate_table()
+    assert table.by_name("MCS2").data_rate_mbps == pytest.approx(1.95)
+    assert table.by_mbps(2.6).name == "MCS3"
+    with pytest.raises(ConfigurationError):
+        table.by_name("MCS9")
+    with pytest.raises(ConfigurationError):
+        table.by_mbps(7.0)
+
+
+def test_rate_table_ordering_and_neighbours():
+    table = hydra_rate_table()
+    assert table.base_rate.name == "MCS0"
+    assert table.max_rate.name == "MCS7"
+    mcs3 = table.by_name("MCS3")
+    assert table.next_higher(mcs3).name == "MCS4"
+    assert table.next_lower(mcs3).name == "MCS2"
+    assert table.next_lower(table.base_rate) is table.base_rate
+    assert table.next_higher(table.max_rate) is table.max_rate
+
+
+def test_mimo_multiplier_scales_rates():
+    table2 = hydra_rate_table(mimo_multiplier=2)
+    assert table2.base_rate.data_rate_mbps == pytest.approx(1.3)
+    assert table2.max_rate.data_rate_mbps == pytest.approx(13.0)
+    assert table2.base_rate.spatial_streams == 2
+    with pytest.raises(ConfigurationError):
+        hydra_rate_table(mimo_multiplier=5)
+
+
+def test_required_snr_monotone_in_rate():
+    table = hydra_rate_table()
+    thresholds = [required_snr_db(rate) for rate in table]
+    assert thresholds == sorted(thresholds)
+
+
+def test_empty_rate_table_rejected():
+    with pytest.raises(ConfigurationError):
+        RateTable([])
