@@ -1,0 +1,30 @@
+"""Campaign-engine benchmark: seed-replicated fig07 at campaign-smoke scale.
+
+Times one cold campaign (registry lookup → per-seed runs → CI aggregation)
+and asserts the engine's contracts: warm re-runs are served entirely from
+cache, and the aggregate carries one 95% CI half-width per point.
+"""
+
+from __future__ import annotations
+
+from bench_common import run_once, campaign_fast_params
+
+from repro.campaign import CampaignRunner, ResultCache
+
+
+def test_campaign_fig07_replicated(benchmark, tmp_path):
+    params = campaign_fast_params("fig07", duration=2.0, sizes_kb=(2, 4))
+    cache = ResultCache(str(tmp_path / "cache"))
+    runner = CampaignRunner(jobs=1, cache=cache)
+
+    outcome = run_once(benchmark, runner.run_campaign, "fig07",
+                       seeds=[1, 2, 3], overrides=params)
+    print(outcome.aggregate.to_text())
+
+    series = outcome.aggregate.get_series("0.65 Mbps")
+    assert len(series.y_errors) == len(series.y_values) == 2
+    assert all(error >= 0.0 for error in series.y_errors)
+
+    warm = runner.run_campaign("fig07", seeds=[1, 2, 3], overrides=params)
+    assert [o.status for o in warm.outcomes] == ["cached"] * 3
+    assert warm.aggregate.to_dict() == outcome.aggregate.to_dict()

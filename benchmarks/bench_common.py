@@ -19,3 +19,15 @@ BENCH_UDP_DURATION = 8.0
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def campaign_fast_params(experiment_id, **overrides):
+    """The campaign registry's reduced parameter set for one experiment.
+
+    Benchmarks that want to exercise a runner at "campaign smoke" scale can
+    use this instead of hand-maintaining a second copy of the reduced sweep
+    (see ``FAST_PARAMS`` in each ``repro.experiments`` module).
+    """
+    from repro.campaign.registry import get_registry
+
+    return get_registry().get(experiment_id).resolve_params(overrides, fast=True)

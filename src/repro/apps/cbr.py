@@ -91,6 +91,8 @@ class UdpSink:
         self.bytes_received = 0
         self.first_arrival: Optional[float] = None
         self.last_arrival: Optional[float] = None
+        #: Byte-counter snapshots usable as measurement-window starts.
+        self._snapshots = {0.0: 0}
 
     def _on_datagram(self, packet: Packet, source: IpAddress) -> None:
         self.packets_received += 1
@@ -99,9 +101,45 @@ class UdpSink:
             self.first_arrival = self.sim.now
         self.last_arrival = self.sim.now
 
+    def snapshot_at(self, time: float) -> None:
+        """Record the byte count at simulated ``time`` (before the run).
+
+        A snapshot makes ``time`` a valid ``measurement_start`` for
+        :meth:`throughput_mbps`, excluding warmup-period bytes from the
+        measured window.  The snapshot fires at PHY priority so datagrams
+        arriving exactly at ``time`` land inside the window.
+        """
+        self.sim.schedule_at(
+            time, lambda: self._snapshots.__setitem__(time, self.bytes_received),
+            priority=Simulator.PRIORITY_PHY)
+
+    def bytes_at(self, time: float) -> int:
+        """Byte count recorded by the snapshot at ``time``."""
+        return self._snapshots[time]
+
     def throughput_mbps(self, measurement_start: float = 0.0,
                         measurement_end: Optional[float] = None) -> float:
-        """Application goodput in Mbps over the measurement window."""
+        """Application goodput in Mbps over the measurement window.
+
+        Both window edges must be byte-countable: ``measurement_start`` must
+        be 0 or a time registered with :meth:`snapshot_at`, and
+        ``measurement_end`` must be "now" or also snapshotted — otherwise
+        out-of-window bytes would leak into the numerator and inflate the
+        result.
+        """
         end = measurement_end if measurement_end is not None else self.sim.now
-        elapsed = end - measurement_start
-        return throughput_mbps(self.bytes_received, elapsed)
+        try:
+            window_base = self._snapshots[measurement_start]
+        except KeyError:
+            raise ConfigurationError(
+                f"no byte snapshot at t={measurement_start}; call "
+                f"snapshot_at() before running the simulation") from None
+        if end in self._snapshots:
+            end_bytes = self._snapshots[end]
+        elif end >= self.sim.now:
+            end_bytes = self.bytes_received
+        else:
+            raise ConfigurationError(
+                f"no byte snapshot at t={end} and the clock is already at "
+                f"{self.sim.now}; bytes received by then cannot be recovered")
+        return throughput_mbps(end_bytes - window_base, end - measurement_start)

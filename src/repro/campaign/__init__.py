@@ -1,0 +1,73 @@
+"""Parallel experiment-campaign engine with seed replication and caching.
+
+The seed repo reproduces each paper figure/table as a one-shot, single-seed,
+single-process run.  This package turns those runners into a campaign system:
+
+* :mod:`repro.campaign.registry` auto-registers every hooked module in
+  :mod:`repro.experiments` under its paper id (``fig07`` … ``table08``) with a
+  parameter schema introspected from its ``run()`` signature,
+* :mod:`repro.campaign.runner` executes (experiment × seed × params) jobs over
+  a process pool with per-job timeouts and progress reporting,
+* :mod:`repro.campaign.cache` makes re-runs incremental via an on-disk JSON
+  cache keyed by (experiment id, params, seed),
+* :mod:`repro.stats.aggregate` condenses the per-seed replicas into per-point
+  mean ± 95% confidence intervals.
+
+Walkthrough
+-----------
+
+List what can be run, then replicate Figure 9 over five seeds on four worker
+processes (the default parameter set is each module's reduced ``FAST_PARAMS``;
+pass ``--full`` for the paper-scale sweep)::
+
+    $ python -m repro.campaign list
+    $ python -m repro.campaign run fig09 --seeds 5 --jobs 4
+
+The run prints the aggregated figure (mean y-values; 95% CI half-widths are
+stored in each series' ``y_errors``) and writes ``campaign_fig09.json`` with
+the aggregate plus every per-seed replica.  Because each completed job is
+cached under ``.campaign-cache/``, re-running the same command is served
+entirely from cache, and raising ``--seeds`` only executes the new seeds.
+Inspect a results file later with::
+
+    $ python -m repro.campaign report campaign_fig09.json --replicas
+
+Programmatic use mirrors the CLI::
+
+    from repro.campaign import CampaignRunner, ResultCache
+
+    runner = CampaignRunner(jobs=4, cache=ResultCache(".campaign-cache"))
+    outcome = runner.run_campaign("fig09", seeds=[1, 2, 3, 4, 5])
+    outcome.aggregate.get_series("aggregation 0.65 Mbps").y_errors  # 95% CIs
+"""
+
+from repro.campaign.cache import ResultCache, job_key
+from repro.campaign.registry import (
+    ExperimentRegistry,
+    ExperimentSpec,
+    ParameterSpec,
+    discover,
+    get_registry,
+)
+from repro.campaign.runner import (
+    CampaignJob,
+    CampaignOutcome,
+    CampaignRunner,
+    JobOutcome,
+    execute_job,
+)
+
+__all__ = [
+    "CampaignJob",
+    "CampaignOutcome",
+    "CampaignRunner",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "JobOutcome",
+    "ParameterSpec",
+    "ResultCache",
+    "discover",
+    "execute_job",
+    "get_registry",
+    "job_key",
+]

@@ -1,0 +1,79 @@
+"""On-disk JSON result cache keyed by (experiment id, params, seed).
+
+Each cache entry is one JSON file holding the serialized
+:class:`~repro.stats.results.ExperimentResult` plus the job coordinates that
+produced it, so a cache directory doubles as a browsable archive of raw
+per-seed results.  Keys are SHA-256 digests of the canonical (sorted-keys)
+JSON encoding of the coordinates, which makes re-runs incremental: only jobs
+whose (experiment, params, seed) triple has never completed are executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Mapping, Optional
+
+
+def job_key(experiment_id: str, params: Mapping[str, Any], seed: int) -> str:
+    """Deterministic digest of one job's coordinates.
+
+    Tuples canonicalize to JSON lists, so ``(0.65,)`` and ``[0.65]`` produce
+    the same key; anything non-JSON falls back to ``repr``.
+    """
+    canonical = json.dumps(
+        {"experiment_id": experiment_id, "params": dict(params), "seed": seed},
+        sort_keys=True, default=repr,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of per-job result JSON files with hit/miss accounting."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, experiment_id: str, seed: int, key: str) -> str:
+        return os.path.join(self.root, f"{experiment_id}_seed{seed}_{key[:16]}.json")
+
+    def get(self, experiment_id: str, params: Mapping[str, Any],
+            seed: int) -> Optional[Dict[str, Any]]:
+        """Cached ``ExperimentResult.to_dict()`` payload, or ``None`` on a miss."""
+        path = self._path(experiment_id, seed, job_key(experiment_id, params, seed))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            result = entry["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, experiment_id: str, params: Mapping[str, Any], seed: int,
+            result_dict: Dict[str, Any]) -> str:
+        """Store one job's result; returns the file path."""
+        path = self._path(experiment_id, seed, job_key(experiment_id, params, seed))
+        entry = {
+            "experiment_id": experiment_id,
+            "seed": seed,
+            "params": {k: v for k, v in params.items()},
+            "result": result_dict,
+        }
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            # No sort_keys: series labels and table rows carry the paper's
+            # ordering, which must survive a cache round-trip.
+            json.dump(entry, handle, indent=1, default=repr)
+        os.replace(tmp_path, path)
+        return path
+
+    @property
+    def stats_line(self) -> str:
+        """Human-readable hit/miss summary."""
+        return f"cache: {self.hits} hit(s), {self.misses} miss(es) in {self.root}"

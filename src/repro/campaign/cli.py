@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro.campaign {list,run,report}``."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.registry import get_registry
+from repro.campaign.runner import CampaignOutcome, CampaignRunner
+from repro.errors import ReproError
+
+DEFAULT_CACHE_DIR = ".campaign-cache"
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--set name=value`` flags; values are Python literals."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        name, separator, raw = pair.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"--set expects name=value, got {pair!r}")
+        try:
+            overrides[name] = ast.literal_eval(raw)
+        except (SyntaxError, ValueError):
+            overrides[name] = raw  # bare strings are fine unquoted
+    return overrides
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    registry = get_registry()
+    for experiment_id in registry.experiment_ids():
+        spec = registry.get(experiment_id)
+        print(f"{experiment_id:12} {spec.description}")
+        defaults = ", ".join(f"{p.name}={p.default!r}" for p in spec.parameters)
+        print(f"{'':12}   module: {spec.module_name}")
+        print(f"{'':12}   params: {defaults}")
+        if spec.fast_params:
+            fast = ", ".join(f"{k}={v!r}" for k, v in spec.fast_params.items())
+            print(f"{'':12}   fast:   {fast}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = CampaignRunner(
+        jobs=args.jobs, cache=cache,
+        timeout=args.timeout if args.timeout > 0 else None,
+        progress=lambda line: print(f"  {line}", flush=True))
+    seeds = [args.base_seed + offset for offset in range(args.seeds)]
+    print(f"campaign {args.experiment_id}: {len(seeds)} seed(s) x jobs={args.jobs} "
+          f"({'full' if args.full else 'fast'} parameters)")
+    outcome = runner.run_campaign(
+        args.experiment_id, seeds,
+        overrides=_parse_overrides(args.set or []), fast=not args.full)
+
+    print()
+    print(outcome.aggregate.to_text())
+    if cache is not None:
+        print()
+        print(cache.stats_line)
+    out_path = args.out or f"campaign_{args.experiment_id}.json"
+    with open(out_path, "w", encoding="utf-8") as handle:
+        # No sort_keys: series/table ordering follows the paper's layout.
+        json.dump(outcome.to_dict(), handle, indent=1, default=repr)
+    print(f"results written to {out_path}")
+    failed = [o for o in outcome.outcomes if not o.ok]
+    for job_outcome in failed:
+        print(f"FAILED {job_outcome.job.describe()}: {job_outcome.status}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        with open(args.results_file, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        outcome = CampaignOutcome.from_dict(payload)
+    except (OSError, ValueError, KeyError, TypeError, AttributeError) as error:
+        print(f"error: cannot read results file {args.results_file!r}: {error!r}",
+              file=sys.stderr)
+        return 2
+    print(f"campaign {outcome.experiment_id} over seeds {outcome.seeds}")
+    print(f"params: {outcome.params}")
+    missing = [seed for seed in outcome.seeds if seed not in outcome.replicas]
+    if missing:
+        failed = payload.get("job_stats", {}).get("failed", len(missing))
+        print(f"WARNING: {failed} job(s) failed — no replica for seed(s) {missing}; "
+              f"the aggregate covers only {len(outcome.replicas)} seed(s)")
+    print()
+    print(outcome.aggregate.to_text())
+    if args.replicas:
+        for seed in outcome.seeds:
+            if seed in outcome.replicas:
+                print()
+                print(f"--- replica seed={seed} ---")
+                print(outcome.replicas[seed].to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.campaign`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run paper experiments in parallel over replicated seeds.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="show registered experiments and their parameters")
+
+    run_parser = commands.add_parser("run", help="run one experiment over N seeds")
+    run_parser.add_argument("experiment_id", help="registry id, e.g. fig09 or table02")
+    run_parser.add_argument("--seeds", type=int, default=3,
+                            help="number of replicated seeds (default 3)")
+    run_parser.add_argument("--base-seed", type=int, default=1,
+                            help="first seed; replicas use base, base+1, ... (default 1)")
+    run_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes; >1 uses a process pool (default 1)")
+    run_parser.add_argument("--timeout", type=float, default=600.0,
+                            help="per-job timeout in seconds (default 600; "
+                                 "0 disables the timeout and lets --jobs 1 "
+                                 "run without a process pool)")
+    run_parser.add_argument("--full", action="store_true",
+                            help="use the paper's full parameters instead of FAST_PARAMS")
+    run_parser.add_argument("--set", action="append", metavar="NAME=VALUE",
+                            help="override one run() parameter (repeatable)")
+    run_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                            help=f"result cache directory (default {DEFAULT_CACHE_DIR})")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the result cache entirely")
+    run_parser.add_argument("--out", default=None,
+                            help="results JSON path (default campaign_<id>.json)")
+
+    report_parser = commands.add_parser("report", help="pretty-print a results JSON file")
+    report_parser.add_argument("results_file")
+    report_parser.add_argument("--replicas", action="store_true",
+                               help="also print every per-seed replica")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "report": _cmd_report}
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

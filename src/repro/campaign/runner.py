@@ -1,0 +1,264 @@
+"""Parallel (experiment × seed × params) campaign execution.
+
+Jobs fan out over a :class:`concurrent.futures.ProcessPoolExecutor` (or run
+inline when ``jobs=1``), consult the :class:`~repro.campaign.cache.ResultCache`
+before executing, and report progress through a callback.  Workers return the
+``to_dict()`` form of :class:`~repro.stats.results.ExperimentResult` so only
+plain JSON-compatible data crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.registry import get_registry
+from repro.errors import ExperimentError
+from repro.stats.aggregate import aggregate_experiment_results
+from repro.stats.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One unit of work: an experiment at fixed parameters with one seed."""
+
+    experiment_id: str
+    params: Mapping[str, Any]
+    seed: int
+
+    def describe(self) -> str:
+        """Short human-readable job label."""
+        return f"{self.experiment_id}[seed={self.seed}]"
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job: where the result came from, or why it failed."""
+
+    job: CampaignJob
+    status: str  #: ``"ran"`` | ``"cached"`` | ``"error"`` | ``"timeout"``
+    result: Optional[ExperimentResult] = None
+    error: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a result."""
+        return self.result is not None
+
+
+@dataclass
+class CampaignOutcome:
+    """A completed campaign: the aggregate plus every per-seed replica."""
+
+    experiment_id: str
+    params: Dict[str, Any]
+    seeds: List[int]
+    aggregate: ExperimentResult
+    replicas: Dict[int, ExperimentResult]
+    outcomes: List[JobOutcome] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible payload written by ``repro.campaign run --out``."""
+        return {
+            "experiment_id": self.experiment_id,
+            "params": dict(self.params),
+            "seeds": list(self.seeds),
+            "aggregate": self.aggregate.to_dict(),
+            "replicas": {str(seed): result.to_dict()
+                         for seed, result in self.replicas.items()},
+            "job_stats": {
+                "ran": sum(1 for o in self.outcomes if o.status == "ran"),
+                "cached": sum(1 for o in self.outcomes if o.status == "cached"),
+                "failed": sum(1 for o in self.outcomes if not o.ok),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignOutcome":
+        """Rebuild a campaign outcome from :meth:`to_dict` output."""
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            params=dict(data.get("params", {})),
+            seeds=[int(s) for s in data.get("seeds", [])],
+            aggregate=ExperimentResult.from_dict(data["aggregate"]),
+            replicas={int(seed): ExperimentResult.from_dict(result)
+                      for seed, result in data.get("replicas", {}).items()},
+        )
+
+
+def execute_job(experiment_id: str, params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Run one job in the current process (the pool's worker entry point)."""
+    spec = get_registry().get(experiment_id)
+    result = spec.run(seed=seed, **dict(params))
+    return result.to_dict()
+
+
+def _timed_execute_job(experiment_id: str, params: Mapping[str, Any],
+                       seed: int) -> Tuple[float, Dict[str, Any]]:
+    """Worker wrapper measuring the job's own wall time inside the process."""
+    started = time.monotonic()
+    result_dict = execute_job(experiment_id, params, seed)
+    return time.monotonic() - started, result_dict
+
+
+ProgressCallback = Callable[[str], None]
+
+
+class CampaignRunner:
+    """Executes batches of :class:`CampaignJob` with caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``1`` runs everything inline (no pool).
+    cache:
+        Optional :class:`ResultCache`; when set, completed jobs are stored and
+        later batches are served incrementally.
+    timeout:
+        Per-job wall-clock budget in seconds once its result is awaited.
+        Setting it routes execution through the pool even when ``jobs=1``
+        (a job cannot time itself out), and a timed-out batch terminates
+        its remaining workers instead of joining them.
+    progress:
+        Callback invoked with one line per finished job.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        if jobs < 1:
+            raise ExperimentError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.progress = progress or (lambda message: None)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run_jobs(self, batch: Sequence[CampaignJob]) -> List[JobOutcome]:
+        """Run a batch, serving cached jobs first and fanning the rest out."""
+        outcomes: Dict[int, JobOutcome] = {}
+        pending: List[int] = []
+        for index, job in enumerate(batch):
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.get(job.experiment_id, job.params, job.seed)
+            if cached is not None:
+                outcomes[index] = JobOutcome(
+                    job=job, status="cached",
+                    result=ExperimentResult.from_dict(cached))
+                self.progress(f"{job.describe()}: cached")
+            else:
+                pending.append(index)
+
+        if pending:
+            # Per-job timeouts can only be enforced from outside the job, so
+            # a timed run always goes through the pool, even with one worker.
+            if self.jobs > 1 or self.timeout is not None:
+                self._run_pool(batch, pending, outcomes)
+            else:
+                self._run_inline(batch, pending, outcomes)
+        return [outcomes[index] for index in range(len(batch))]
+
+    def _finish(self, index: int, job: CampaignJob, result_dict: Dict[str, Any],
+                elapsed: float, outcomes: Dict[int, JobOutcome]) -> None:
+        if self.cache is not None:
+            self.cache.put(job.experiment_id, job.params, job.seed, result_dict)
+        outcomes[index] = JobOutcome(
+            job=job, status="ran",
+            result=ExperimentResult.from_dict(result_dict), elapsed=elapsed)
+        self.progress(f"{job.describe()}: done in {elapsed:.2f}s")
+
+    def _fail(self, index: int, job: CampaignJob, status: str, error: str,
+              outcomes: Dict[int, JobOutcome]) -> None:
+        outcomes[index] = JobOutcome(job=job, status=status, error=error)
+        self.progress(f"{job.describe()}: {status} ({error.splitlines()[-1] if error else status})")
+
+    def _run_inline(self, batch: Sequence[CampaignJob], pending: Sequence[int],
+                    outcomes: Dict[int, JobOutcome]) -> None:
+        for index in pending:
+            job = batch[index]
+            started = time.monotonic()
+            try:
+                result_dict = execute_job(job.experiment_id, job.params, job.seed)
+            except Exception:  # noqa: BLE001 - report, don't crash the batch
+                self._fail(index, job, "error", traceback.format_exc(), outcomes)
+            else:
+                self._finish(index, job, result_dict, time.monotonic() - started, outcomes)
+
+    def _run_pool(self, batch: Sequence[CampaignJob], pending: Sequence[int],
+                  outcomes: Dict[int, JobOutcome]) -> None:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
+        timed_out = False
+        try:
+            futures = {
+                index: pool.submit(_timed_execute_job, batch[index].experiment_id,
+                                   batch[index].params, batch[index].seed)
+                for index in pending
+            }
+            for index, future in futures.items():
+                job = batch[index]
+                if timed_out and not future.done():
+                    # The batch is being aborted (all workers get terminated
+                    # below); waiting another full timeout per remaining job
+                    # would stall the campaign for N x timeout.
+                    future.cancel()
+                    self._fail(index, job, "timeout",
+                               "batch aborted after an earlier job timeout", outcomes)
+                    continue
+                try:
+                    elapsed, result_dict = future.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    # On Python 3.11+ this aliases builtin TimeoutError, so a
+                    # job *raising* TimeoutError lands here too; a completed
+                    # future means the exception came from the job itself.
+                    if future.done():
+                        self._fail(index, job, "error", traceback.format_exc(), outcomes)
+                    else:
+                        future.cancel()
+                        timed_out = True
+                        self._fail(index, job, "timeout",
+                                   f"no result within {self.timeout}s", outcomes)
+                except Exception:  # noqa: BLE001 - report, don't crash the batch
+                    self._fail(index, job, "error", traceback.format_exc(), outcomes)
+                else:
+                    self._finish(index, job, result_dict, elapsed, outcomes)
+        finally:
+            if timed_out:
+                # future.cancel() cannot stop an already-running task, and a
+                # plain shutdown would join the hung worker; kill it so the
+                # campaign returns when the timeout says it should.
+                for process in getattr(pool, "_processes", {}).values():
+                    process.terminate()
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Seed-replicated campaigns
+    # ------------------------------------------------------------------
+    def run_campaign(self, experiment_id: str, seeds: Sequence[int],
+                     overrides: Optional[Mapping[str, Any]] = None,
+                     fast: bool = True) -> CampaignOutcome:
+        """Replicate one experiment over ``seeds`` and aggregate mean ± 95% CI."""
+        if not seeds:
+            raise ExperimentError("need at least one seed")
+        spec = get_registry().get(experiment_id)
+        params = spec.resolve_params(overrides, fast=fast)
+        batch = [CampaignJob(experiment_id=experiment_id, params=params, seed=seed)
+                 for seed in seeds]
+        outcomes = self.run_jobs(batch)
+        replicas = {outcome.job.seed: outcome.result
+                    for outcome in outcomes if outcome.ok}
+        if not replicas:
+            failures = "; ".join(f"{o.job.describe()}: {o.status}" for o in outcomes)
+            raise ExperimentError(f"every job of {experiment_id} failed ({failures})")
+        aggregate = aggregate_experiment_results(
+            [replicas[seed] for seed in seeds if seed in replicas])
+        return CampaignOutcome(
+            experiment_id=experiment_id, params=params, seeds=list(seeds),
+            aggregate=aggregate, replicas=replicas, outcomes=outcomes)

@@ -41,3 +41,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS,
     result.note("The paper reports thresholds of 5/11/15 KB at 0.65/1.3/1.95 Mbps "
                 "(all ~120 Ksamples), with throughput collapsing beyond them.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig07"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65,), "sizes_kb": (2, 4, 6, 8), "duration": 4.0}

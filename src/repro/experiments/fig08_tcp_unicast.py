@@ -39,3 +39,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS, hops_list: Sequence[in
         result.add_metric(f"max_gap_percent_{hops}hop", max(gaps))
     result.note("Paper: UA beats NA at every rate and the gap grows with rate.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig08"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65, 1.3), "hops_list": (2,), "file_bytes": 40_000}

@@ -48,3 +48,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS,
     result.note("Paper: the performance gap between aggregation and no aggregation "
                 "increases as the flooding interval decreases.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig09"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65,), "flooding_intervals": (0.5, 2.0), "duration": 4.0}

@@ -49,3 +49,8 @@ def run(unicast_rates_mbps: Sequence[float] = DEFAULT_UNICAST_RATES_MBPS,
     result.note("Paper: BA(0.65) only helps at 0.65 Mbps unicast; BA(1.3) helps up to "
                 "1.3 Mbps; BA(2.6) helps across the whole range.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig10"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"unicast_rates_mbps": (0.65, 1.3), "broadcast_rates_mbps": (1.3,), "file_bytes": 40_000}

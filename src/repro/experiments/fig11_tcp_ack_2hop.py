@@ -42,3 +42,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS, hops: int = 2,
     result.add_metric("max_gap_ba_over_ua_percent", max(gaps))
     result.note("Paper: BA always outperforms UA; the maximum gap is about 10%.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig11"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65, 1.3), "file_bytes": 40_000}

@@ -59,3 +59,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS,
     result.note("Paper: maximum BA-over-UA gap of 12.2% (3-hop) and 11% (star), both "
                 "larger than the 10% observed over 2 hops.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig12"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65,), "file_bytes": 40_000}

@@ -44,3 +44,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS, hops_list: Sequence[in
     result.note("Paper: BA and DBA are similar at 0.65/1.3 Mbps; DBA is slightly ahead at "
                 "higher rates (max 2% over 2 hops, 4% over 3 hops).")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig13"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65, 1.3), "hops_list": (2,), "file_bytes": 40_000}

@@ -46,3 +46,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS, hops: int = 3,
     result.add_metric("gap_percent_at_highest_rate", gaps[-1])
     result.note("Paper: the BA vs backward-only gap widens as the unicast rate increases.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "fig14"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65, 1.3), "file_bytes": 40_000}

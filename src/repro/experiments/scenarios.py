@@ -141,12 +141,17 @@ def run_star_tcp(policy: AggregationPolicy, rate_mbps: float = 0.65,
 
 @dataclass
 class UdpRunResult:
-    """Outcome of one UDP saturation run."""
+    """Outcome of one UDP saturation run.
+
+    ``throughput_mbps`` covers the post-warmup measurement window only;
+    ``warmup_bytes`` records how many sink bytes the warmup excluded.
+    """
 
     throughput_mbps: float
     packets_received: int
     network: Network
     sink: UdpSink
+    warmup_bytes: int = 0
     flooders: List[FloodingSource] = field(default_factory=list)
 
 
@@ -180,11 +185,12 @@ def run_udp_saturation(policy: AggregationPolicy, hops: int = 2, rate_mbps: floa
             flooder.start()
             flooders.append(flooder)
 
+    # The sink counts every byte from t=0; a snapshot at the end of the
+    # warmup lets it measure throughput over the remaining window only.
+    if warmup > 0.0:
+        sink.snapshot_at(warmup)
     sim.run(until=duration)
-    throughput = sink.throughput_mbps(measurement_start=warmup)
-    # Only count bytes received after the warmup by scaling: the sink counts
-    # everything, so recompute over the full window for simplicity and note
-    # that the warmup is short compared to the run.
-    throughput = sink.throughput_mbps(measurement_start=0.0, measurement_end=duration)
+    throughput = sink.throughput_mbps(measurement_start=warmup, measurement_end=duration)
     return UdpRunResult(throughput_mbps=throughput, packets_received=sink.packets_received,
-                        network=network, sink=sink, flooders=flooders)
+                        network=network, sink=sink, warmup_bytes=sink.bytes_at(warmup),
+                        flooders=flooders)

@@ -37,3 +37,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS, duration: float = 20.0
     result.note("Paper: +7.9% at 0.65 Mbps and +11.9% at 1.3 Mbps; the improvement "
                 "should grow with the rate.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "table02"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65,), "duration": 4.0}

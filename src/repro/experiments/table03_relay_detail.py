@@ -78,3 +78,8 @@ def run(rate_mbps: float = 1.3, hops: int = 2, file_bytes: int = PAPER_FILE_BYTE
     result.note("Paper (Table 3): frame sizes 765/2662/2727/3477 B, transmissions "
                 "100/33.7/26.7/21.1 %, size overhead 15.1/6.83/6.55/5.8 % for NA/UA/BA/DBA.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "table03"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"file_bytes": 40_000}

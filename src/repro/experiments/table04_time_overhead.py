@@ -54,3 +54,8 @@ def run(rates_mbps: Sequence[float] = DEFAULT_RATES_MBPS, hops: int = 2,
     result.note("Paper (Table 4): NA overhead rises 22.4% -> 52.1% from 0.65 to 2.6 Mbps; "
                 "UA/BA/DBA cut it to 6.7-24.8 / 5.8-19.9 / 5.2-17.7 %.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "table04"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"rates_mbps": (0.65, 1.3), "file_bytes": 40_000}

@@ -67,3 +67,8 @@ def run(rate_mbps: float = 1.3, file_bytes: int = PAPER_FILE_BYTES,
                 "substantially (2727 -> 3432 B) in the star; BA transmissions drop from "
                 "26.7% to 22.5% of NA.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "table05_07"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"file_bytes": 40_000}

@@ -51,3 +51,8 @@ def run(rate_mbps: float = 1.3, file_bytes: int = PAPER_FILE_BYTES,
     result.note("Paper (Table 8): the BA-UA relay frame-size difference is 65 B over 2 hops "
                 "but 154 B (relay1) and 446 B (relay2) over 3 hops.")
     return result
+
+#: Campaign registry hooks (see :mod:`repro.campaign.registry`).
+EXPERIMENT_ID = "table08"
+#: Reduced sweep used by campaign runs unless ``--full`` is given.
+FAST_PARAMS = {"file_bytes": 40_000}

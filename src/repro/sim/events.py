@@ -38,6 +38,11 @@ class Event:
     callback: Callable[..., Any] = field(compare=False)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: True once the scheduler has removed the event from its queue (the only
+    #: other way out is cancellation).  Cancelling a dequeued event must be a
+    #: no-op or the scheduler's live-event count goes negative.
+    dequeued: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the scheduler will skip it."""
@@ -45,6 +50,7 @@ class Event:
 
     def fire(self) -> Any:
         """Invoke the callback (the scheduler calls this, not user code)."""
+        self.fired = True
         return self.callback(*self.args)
 
 
@@ -52,14 +58,15 @@ class EventHandle:
     """Opaque handle for a scheduled event.
 
     The handle remains valid after the event has fired; :attr:`active` then
-    becomes ``False``.
+    becomes ``False``.  Cancelling through the handle routes back to the
+    owning scheduler so its live-event count stays exact.
     """
 
-    __slots__ = ("_event", "_fired")
+    __slots__ = ("_event", "_scheduler")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, scheduler: Any = None):
         self._event = event
-        self._fired = False
+        self._scheduler = scheduler
 
     @property
     def time(self) -> float:
@@ -74,20 +81,19 @@ class EventHandle:
     @property
     def fired(self) -> bool:
         """True once the callback has been invoked."""
-        return self._fired
+        return self._event.fired
 
     @property
     def active(self) -> bool:
-        """True while the event is still pending (not fired, not cancelled)."""
-        return not self._fired and not self._event.cancelled
+        """True while the event is still queued (not popped, not cancelled)."""
+        return not self._event.dequeued and not self._event.cancelled
 
     def cancel(self) -> None:
-        """Cancel the event if it has not fired yet (idempotent)."""
-        if not self._fired:
+        """Cancel the event if it is still queued (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.cancel(self)
+        elif self.active:
             self._event.cancel()
-
-    def _mark_fired(self) -> None:
-        self._fired = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")

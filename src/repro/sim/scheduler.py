@@ -54,12 +54,16 @@ class Scheduler:
         )
         heapq.heappush(self._heap, event)
         self._pending += 1
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a previously scheduled event (no-op if already fired)."""
+        """Cancel a previously scheduled event (no-op if already fired).
+
+        ``EventHandle.cancel`` routes here too, so the live-event count is
+        decremented exactly once per cancellation regardless of the path.
+        """
         if handle.active:
-            handle.cancel()
+            handle._event.cancel()
             self._pending -= 1
 
     def peek_time(self) -> Optional[float]:
@@ -75,11 +79,19 @@ class Scheduler:
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
+        event.dequeued = True
         self._pending -= 1
         return event
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event.
+
+        Each dropped event is marked cancelled so that handles issued for it
+        go inactive; cancelling such a handle afterwards is a no-op instead of
+        driving the live-event count negative.
+        """
+        for event in self._heap:
+            event.cancel()
         self._heap.clear()
         self._pending = 0
 

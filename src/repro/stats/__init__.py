@@ -1,12 +1,22 @@
-"""Result collection and formatting."""
+"""Result collection, aggregation and formatting."""
 
 from repro.stats.results import ExperimentResult, Series, TableResult
 from repro.stats.collect import relay_detail, node_frame_sizes, transmission_percentages
+from repro.stats.aggregate import (
+    SummaryStats,
+    aggregate_experiment_results,
+    summarize,
+    t_critical_95,
+)
 
 __all__ = [
     "ExperimentResult",
     "Series",
     "TableResult",
+    "SummaryStats",
+    "aggregate_experiment_results",
+    "summarize",
+    "t_critical_95",
     "relay_detail",
     "node_frame_sizes",
     "transmission_percentages",

@@ -15,16 +15,35 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class Series:
-    """One curve of a figure: y-values of one variant over the swept x-values."""
+    """One curve of a figure: y-values of one variant over the swept x-values.
+
+    ``y_errors`` is optional and, when present, holds one symmetric error-bar
+    half-width per point (the campaign layer stores 95% confidence intervals
+    there after seed replication).
+    """
 
     label: str
     x_values: List[float] = field(default_factory=list)
     y_values: List[float] = field(default_factory=list)
+    y_errors: List[float] = field(default_factory=list)
 
-    def add(self, x: float, y: float) -> None:
-        """Append a point."""
+    def add(self, x: float, y: float, error: Optional[float] = None) -> None:
+        """Append a point (optionally with an error-bar half-width).
+
+        Either every point of a series carries an error bar or none does;
+        mixing the two would silently misalign ``y_errors`` with the points.
+        """
+        if error is None:
+            if self.y_errors:
+                raise ValueError(
+                    f"series {self.label!r}: cannot mix points with and without error bars")
+        elif len(self.y_errors) != len(self.x_values):
+            raise ValueError(
+                f"series {self.label!r}: cannot mix points with and without error bars")
         self.x_values.append(x)
         self.y_values.append(y)
+        if error is not None:
+            self.y_errors.append(error)
 
     def value_at(self, x: float, tolerance: float = 1e-9) -> float:
         """The y-value recorded at ``x`` (raises if absent)."""
@@ -37,6 +56,27 @@ class Series:
     def peak(self) -> float:
         """Largest y-value (0 when empty)."""
         return max(self.y_values) if self.y_values else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        data: Dict[str, object] = {
+            "label": self.label,
+            "x_values": list(self.x_values),
+            "y_values": list(self.y_values),
+        }
+        if self.y_errors:
+            data["y_errors"] = list(self.y_errors)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Series":
+        """Rebuild a series from :meth:`to_dict` output."""
+        return cls(
+            label=str(data["label"]),
+            x_values=[float(x) for x in data.get("x_values", [])],
+            y_values=[float(y) for y in data.get("y_values", [])],
+            y_errors=[float(e) for e in data.get("y_errors", [])],
+        )
 
 
 @dataclass
@@ -54,6 +94,24 @@ class TableResult:
     def cell(self, row: str, column: str) -> float:
         """Value at ``(row, column)``."""
         return self.rows[row][self.columns.index(column)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": {name: list(values) for name, values in self.rows.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TableResult":
+        """Rebuild a table from :meth:`to_dict` output."""
+        rows = data.get("rows", {})
+        return cls(
+            title=str(data["title"]),
+            columns=[str(c) for c in data.get("columns", [])],
+            rows={str(name): [float(v) for v in values] for name, values in rows.items()},
+        )
 
     def to_text(self, float_format: str = "{:.3f}") -> str:
         """Render the table as aligned plain text."""
@@ -102,6 +160,35 @@ class ExperimentResult:
     def note(self, text: str) -> None:
         """Attach a free-form note."""
         self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "series": {label: series.to_dict() for label, series in self.series.items()},
+            "tables": [table.to_dict() for table in self.tables],
+            "metrics": dict(self.metrics),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a full experiment result from :meth:`to_dict` output."""
+        result = cls(
+            experiment_id=str(data["experiment_id"]),
+            description=str(data.get("description", "")),
+        )
+        for label, series_data in data.get("series", {}).items():
+            result.series[str(label)] = Series.from_dict(series_data)
+        for table_data in data.get("tables", []):
+            result.tables.append(TableResult.from_dict(table_data))
+        result.metrics = {str(k): float(v) for k, v in data.get("metrics", {}).items()}
+        result.notes = [str(n) for n in data.get("notes", [])]
+        return result
 
     # ------------------------------------------------------------------
     # Rendering

@@ -1,0 +1,161 @@
+"""Property and regression tests for the scheduler's ordering invariants.
+
+A randomized (seeded) op-sequence test interleaves push/cancel/pop/peek/clear
+against a sorted-list reference model, checking the ``(time, priority,
+sequence)`` contract after every step; explicit regression tests pin the
+``clear()`` stale-handle bug (cancelling a cleared event used to drive the
+live-event count negative).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.scheduler import Scheduler
+from repro.sim.simulator import Simulator
+
+
+# ---------------------------------------------------------------------------
+# clear() stale-handle regression
+# ---------------------------------------------------------------------------
+
+def test_clear_deactivates_outstanding_handles():
+    sched = Scheduler()
+    handles = [sched.push(float(t), lambda: None) for t in range(3)]
+    sched.clear()
+    assert len(sched) == 0
+    for handle in handles:
+        assert not handle.active
+        sched.cancel(handle)  # must be a no-op, not a negative-count bug
+        assert len(sched) == 0
+    assert sched.empty
+    sched.push(1.0, lambda: None)
+    assert len(sched) == 1
+
+
+def test_direct_handle_cancel_keeps_count_and_clock_consistent():
+    # EventHandle.cancel() used to bypass the scheduler's accounting, leaving
+    # pending_events overcounted and run(until=...) unable to advance.
+    sim = Simulator(seed=7)
+    handle = sim.schedule(5.0, lambda: None)
+    handle.cancel()
+    assert sim.pending_events == 0
+    assert sim.run(until=10.0) == pytest.approx(10.0)
+    handle.cancel()  # idempotent, never double-decrements
+    assert sim.pending_events == 0
+
+
+def test_simulator_cancel_after_reset_keeps_pending_nonnegative():
+    sim = Simulator(seed=7)
+    handles = [sim.schedule(delay, lambda: None) for delay in (0.5, 1.0, 2.0)]
+    sim.reset()
+    assert sim.pending_events == 0
+    for handle in handles:
+        sim.cancel(handle)
+        assert sim.pending_events == 0
+    sim.schedule(0.1, lambda: None)
+    assert sim.pending_events == 1
+    assert sim.run() == pytest.approx(0.1)
+
+
+# ---------------------------------------------------------------------------
+# Randomized model-based property test
+# ---------------------------------------------------------------------------
+
+class _ReferenceModel:
+    """Sorted list of (time, priority, push_index) mirroring live events."""
+
+    def __init__(self) -> None:
+        self.entries = []  # (time, priority, push_index, token)
+
+    def push(self, time, priority, push_index, token):
+        self.entries.append((time, priority, push_index, token))
+        self.entries.sort(key=lambda e: e[:3])
+
+    def remove(self, token):
+        self.entries = [e for e in self.entries if e[3] is not token]
+
+    def pop_expected(self):
+        return self.entries.pop(0) if self.entries else None
+
+    def peek_time(self):
+        return self.entries[0][0] if self.entries else None
+
+    def __len__(self):
+        return len(self.entries)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_scheduler_matches_reference_model(seed):
+    rng = random.Random(seed)
+    sched = Scheduler()
+    model = _ReferenceModel()
+    live = []       # (handle, token) for events the model believes are queued
+    retired = []    # handles already popped, cancelled or cleared
+    push_index = 0
+
+    for _ in range(400):
+        op = rng.choices(["push", "pop", "cancel", "peek", "stale_cancel", "clear"],
+                         weights=[40, 25, 15, 10, 8, 2])[0]
+        if op == "push":
+            # A coarse grid of times/priorities forces plenty of ties, which
+            # is exactly where the (time, priority, sequence) contract bites.
+            time = float(rng.randrange(10))
+            priority = rng.choice((0, 10, 50))
+            token = object()
+            handle = sched.push(time, lambda _: None, args=(token,), priority=priority)
+            model.push(time, priority, push_index, token)
+            live.append((handle, token))
+            push_index += 1
+        elif op == "pop":
+            event = sched.pop()
+            expected = model.pop_expected()
+            if expected is None:
+                assert event is None
+            else:
+                exp_time, exp_priority, _, exp_token = expected
+                assert (event.time, event.priority) == (exp_time, exp_priority)
+                # FIFO among ties: the popped event must be *exactly* the one
+                # the model predicts, not merely an equal-keyed sibling.
+                assert event.args[0] is exp_token
+                index = next(i for i, (_, token) in enumerate(live)
+                             if token is exp_token)
+                retired.append(live.pop(index)[0])
+        elif op == "cancel" and live:
+            index = rng.randrange(len(live))
+            handle, token = live.pop(index)
+            if rng.random() < 0.5:
+                handle.cancel()  # direct handle path must account identically
+            else:
+                sched.cancel(handle)
+            model.remove(token)
+            retired.append(handle)
+        elif op == "peek":
+            assert sched.peek_time() == model.peek_time()
+        elif op == "stale_cancel" and retired:
+            # Cancelling a fired/cancelled/cleared handle must never change
+            # the live count.
+            before = len(sched)
+            sched.cancel(rng.choice(retired))
+            assert len(sched) == before
+        elif op == "clear":
+            sched.clear()
+            retired.extend(handle for handle, _ in live)
+            live.clear()
+            model.entries.clear()
+
+        assert len(sched) == len(model)
+        assert len(sched) >= 0
+        assert sched.empty == (len(model) == 0)
+
+    # Drain: the full (time, priority, FIFO) order must match the model.
+    while True:
+        event = sched.pop()
+        expected = model.pop_expected()
+        if event is None:
+            assert expected is None
+            break
+        assert (event.time, event.priority) == expected[:2]
+        assert event.args[0] is expected[3]
