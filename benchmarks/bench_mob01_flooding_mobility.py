@@ -1,0 +1,35 @@
+"""mob01 benchmark: flood delivery ratio under mobility, NA/UA/BA."""
+
+from __future__ import annotations
+
+from bench_common import run_once
+
+from repro.experiments import mob01_flooding_mobility
+
+SPEEDS = (1.0, 4.0)
+
+
+def test_mob01_mobile_flooding(benchmark):
+    result = run_once(benchmark, mob01_flooding_mobility.run,
+                      speeds_mps=SPEEDS, node_count=5, duration=4.0,
+                      flooding_interval=0.2)
+    print(result.to_text())
+
+    for label in ("NA", "UA", "BA"):
+        delivery = result.get_series(f"{label} delivery")
+        udp = result.get_series(f"{label} udp Mbps")
+        assert len(delivery.y_values) == len(SPEEDS)
+        # Mobility plus shadowing must actually cost deliveries (some nodes
+        # out of range some of the time) without silencing the flood.
+        for ratio in delivery.y_values:
+            assert 0.0 < ratio < 1.0
+        # The anchor pair's UDP flow keeps running under the flood load.
+        for throughput in udp.y_values:
+            assert throughput > 0.0
+
+    # Aggregation absorbs the flooding load: the UDP flow is never worse off
+    # under BA than with no aggregation at the same speed.
+    ba_udp = result.get_series("BA udp Mbps")
+    na_udp = result.get_series("NA udp Mbps")
+    for speed in SPEEDS:
+        assert ba_udp.value_at(speed) >= na_udp.value_at(speed)

@@ -7,9 +7,12 @@ single-process run.  This package turns those runners into a campaign system:
   :mod:`repro.experiments` under its paper id (``fig07`` … ``table08``) with a
   parameter schema introspected from its ``run()`` signature,
 * :mod:`repro.campaign.runner` executes (experiment × seed × params) jobs over
-  a process pool with per-job timeouts and progress reporting,
+  a process pool with per-job timeouts, progress reporting and intra-batch
+  dedup (identical jobs submitted twice execute once),
 * :mod:`repro.campaign.cache` makes re-runs incremental via an on-disk JSON
-  cache keyed by (experiment id, params, seed),
+  cache keyed by (experiment id, params, seed, code version) — the code
+  version is the runner module's source digest, so editing a runner
+  invalidates its cached results automatically,
 * :mod:`repro.stats.aggregate` condenses the per-seed replicas into per-point
   mean ± 95% confidence intervals.
 
@@ -22,6 +25,11 @@ pass ``--full`` for the paper-scale sweep)::
 
     $ python -m repro.campaign list
     $ python -m repro.campaign run fig09 --seeds 5 --jobs 4
+
+or sweep every registered experiment (the mobile-scenario experiments
+``mob01``/``mob02`` included) at smoke scale::
+
+    $ python -m repro.campaign run-all --seeds 1 --jobs 4
 
 The run prints the aggregated figure (mean y-values; 95% CI half-widths are
 stored in each series' ``y_errors``) and writes ``campaign_fig09.json`` with
@@ -48,6 +56,7 @@ from repro.campaign.registry import (
     ParameterSpec,
     discover,
     get_registry,
+    module_source_digest,
 )
 from repro.campaign.runner import (
     CampaignJob,
@@ -70,4 +79,5 @@ __all__ = [
     "execute_job",
     "get_registry",
     "job_key",
+    "module_source_digest",
 ]

@@ -1,4 +1,4 @@
-"""On-disk JSON result cache keyed by (experiment id, params, seed).
+"""On-disk JSON result cache keyed by (experiment id, params, seed, code).
 
 Each cache entry is one JSON file holding the serialized
 :class:`~repro.stats.results.ExperimentResult` plus the job coordinates that
@@ -6,6 +6,12 @@ produced it, so a cache directory doubles as a browsable archive of raw
 per-seed results.  Keys are SHA-256 digests of the canonical (sorted-keys)
 JSON encoding of the coordinates, which makes re-runs incremental: only jobs
 whose (experiment, params, seed) triple has never completed are executed.
+
+The optional ``code_version`` coordinate (the runner module's source digest,
+see :func:`repro.campaign.registry.module_source_digest`) versions entries
+against the code that produced them: editing a runner changes its digest,
+orphaning every cache entry it wrote, so stale results are never served
+across code changes.
 """
 
 from __future__ import annotations
@@ -16,16 +22,20 @@ import os
 from typing import Any, Dict, Mapping, Optional
 
 
-def job_key(experiment_id: str, params: Mapping[str, Any], seed: int) -> str:
+def job_key(experiment_id: str, params: Mapping[str, Any], seed: int,
+            code_version: str = "") -> str:
     """Deterministic digest of one job's coordinates.
 
     Tuples canonicalize to JSON lists, so ``(0.65,)`` and ``[0.65]`` produce
-    the same key; anything non-JSON falls back to ``repr``.
+    the same key; anything non-JSON falls back to ``repr``.  A non-empty
+    ``code_version`` becomes part of the coordinates.
     """
-    canonical = json.dumps(
-        {"experiment_id": experiment_id, "params": dict(params), "seed": seed},
-        sort_keys=True, default=repr,
-    )
+    coordinates: Dict[str, Any] = {
+        "experiment_id": experiment_id, "params": dict(params), "seed": seed,
+    }
+    if code_version:
+        coordinates["code_version"] = code_version
+    canonical = json.dumps(coordinates, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -41,10 +51,11 @@ class ResultCache:
     def _path(self, experiment_id: str, seed: int, key: str) -> str:
         return os.path.join(self.root, f"{experiment_id}_seed{seed}_{key[:16]}.json")
 
-    def get(self, experiment_id: str, params: Mapping[str, Any],
-            seed: int) -> Optional[Dict[str, Any]]:
+    def get(self, experiment_id: str, params: Mapping[str, Any], seed: int,
+            code_version: str = "") -> Optional[Dict[str, Any]]:
         """Cached ``ExperimentResult.to_dict()`` payload, or ``None`` on a miss."""
-        path = self._path(experiment_id, seed, job_key(experiment_id, params, seed))
+        path = self._path(experiment_id, seed,
+                          job_key(experiment_id, params, seed, code_version))
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
@@ -56,13 +67,15 @@ class ResultCache:
         return result
 
     def put(self, experiment_id: str, params: Mapping[str, Any], seed: int,
-            result_dict: Dict[str, Any]) -> str:
+            result_dict: Dict[str, Any], code_version: str = "") -> str:
         """Store one job's result; returns the file path."""
-        path = self._path(experiment_id, seed, job_key(experiment_id, params, seed))
+        path = self._path(experiment_id, seed,
+                          job_key(experiment_id, params, seed, code_version))
         entry = {
             "experiment_id": experiment_id,
             "seed": seed,
             "params": {k: v for k, v in params.items()},
+            "code_version": code_version,
             "result": result_dict,
         }
         tmp_path = path + ".tmp"

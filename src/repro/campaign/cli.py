@@ -1,10 +1,11 @@
-"""Command-line interface: ``python -m repro.campaign {list,run,report}``."""
+"""Command-line interface: ``python -m repro.campaign {list,run,run-all,report}``."""
 
 from __future__ import annotations
 
 import argparse
 import ast
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -30,6 +31,25 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
     return overrides
 
 
+def _build_runner(args: argparse.Namespace) -> CampaignRunner:
+    """Runner configured from the shared run/run-all flags."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return CampaignRunner(
+        jobs=args.jobs, cache=cache,
+        timeout=args.timeout if args.timeout > 0 else None,
+        progress=lambda line: print(f"  {line}", flush=True))
+
+
+def _seed_list(args: argparse.Namespace) -> List[int]:
+    return [args.base_seed + offset for offset in range(args.seeds)]
+
+
+def _write_results(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        # No sort_keys: series/table ordering follows the paper's layout.
+        json.dump(payload, handle, indent=1, default=repr)
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     registry = get_registry()
     for experiment_id in registry.experiment_ids():
@@ -45,12 +65,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = CampaignRunner(
-        jobs=args.jobs, cache=cache,
-        timeout=args.timeout if args.timeout > 0 else None,
-        progress=lambda line: print(f"  {line}", flush=True))
-    seeds = [args.base_seed + offset for offset in range(args.seeds)]
+    runner = _build_runner(args)
+    seeds = _seed_list(args)
     print(f"campaign {args.experiment_id}: {len(seeds)} seed(s) x jobs={args.jobs} "
           f"({'full' if args.full else 'fast'} parameters)")
     outcome = runner.run_campaign(
@@ -59,18 +75,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     print()
     print(outcome.aggregate.to_text())
-    if cache is not None:
+    if runner.cache is not None:
         print()
-        print(cache.stats_line)
+        print(runner.cache.stats_line)
     out_path = args.out or f"campaign_{args.experiment_id}.json"
-    with open(out_path, "w", encoding="utf-8") as handle:
-        # No sort_keys: series/table ordering follows the paper's layout.
-        json.dump(outcome.to_dict(), handle, indent=1, default=repr)
+    _write_results(out_path, outcome.to_dict())
     print(f"results written to {out_path}")
     failed = [o for o in outcome.outcomes if not o.ok]
     for job_outcome in failed:
         print(f"FAILED {job_outcome.job.describe()}: {job_outcome.status}", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    """Sweep every registered experiment (FAST_PARAMS by default)."""
+    registry = get_registry()
+    runner = _build_runner(args)
+    seeds = _seed_list(args)
+    experiment_ids = registry.experiment_ids()
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+    print(f"run-all: {len(experiment_ids)} experiment(s) x {len(seeds)} seed(s), "
+          f"jobs={args.jobs} ({'full' if args.full else 'fast'} parameters)")
+
+    failures: List[str] = []
+    for experiment_id in experiment_ids:
+        print(f"[{experiment_id}]", flush=True)
+        try:
+            outcome = runner.run_campaign(experiment_id, seeds, fast=not args.full)
+        except ReproError as error:
+            print(f"  FAILED: {error}", file=sys.stderr)
+            failures.append(experiment_id)
+            continue
+        if any(not o.ok for o in outcome.outcomes):
+            failures.append(experiment_id)
+        if args.out_dir:
+            _write_results(os.path.join(args.out_dir, f"campaign_{experiment_id}.json"),
+                           outcome.to_dict())
+    if runner.cache is not None:
+        print(runner.cache.stats_line)
+    if failures:
+        print(f"run-all: {len(failures)} experiment(s) with failed jobs: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"run-all: all {len(experiment_ids)} experiments completed")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -132,6 +181,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", default=None,
                             help="results JSON path (default campaign_<id>.json)")
 
+    run_all_parser = commands.add_parser(
+        "run-all",
+        help="sweep every registered experiment (reduced FAST_PARAMS by default)")
+    run_all_parser.add_argument("--seeds", type=int, default=1,
+                                help="replicated seeds per experiment (default 1, "
+                                     "sized for CI smoke runs)")
+    run_all_parser.add_argument("--base-seed", type=int, default=1,
+                                help="first seed; replicas use base, base+1, ... (default 1)")
+    run_all_parser.add_argument("--jobs", type=int, default=1,
+                                help="worker processes; >1 uses a process pool (default 1)")
+    run_all_parser.add_argument("--timeout", type=float, default=600.0,
+                                help="per-job timeout in seconds (default 600; 0 disables)")
+    run_all_parser.add_argument("--full", action="store_true",
+                                help="use the paper's full parameters instead of FAST_PARAMS")
+    run_all_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                                help=f"result cache directory (default {DEFAULT_CACHE_DIR})")
+    run_all_parser.add_argument("--no-cache", action="store_true",
+                                help="bypass the result cache entirely")
+    run_all_parser.add_argument("--out-dir", default=None,
+                                help="write campaign_<id>.json per experiment here")
+
     report_parser = commands.add_parser("report", help="pretty-print a results JSON file")
     report_parser.add_argument("results_file")
     report_parser.add_argument("--replicas", action="store_true",
@@ -142,7 +212,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "report": _cmd_report}
+    handlers = {"list": _cmd_list, "run": _cmd_run, "run-all": _cmd_run_all,
+                "report": _cmd_report}
     try:
         return handlers[args.command](args)
     except ReproError as error:

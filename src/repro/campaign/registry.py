@@ -10,6 +10,7 @@ and CI smoke tests fast.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import inspect
 import pkgutil
@@ -18,6 +19,26 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import repro.experiments
 from repro.errors import ExperimentError
+
+
+def module_source_digest(module: Any) -> str:
+    """Digest of a module's source code, used to version cache entries.
+
+    Editing a runner module changes this digest, which changes every cache
+    key derived from it — so stale results can never be served across code
+    changes.  The module *file* is read directly (not ``inspect.getsource``)
+    because the latter serves stale text from ``linecache`` after an edit.
+    """
+    source_file = getattr(module, "__file__", None)
+    try:
+        with open(source_file, "rb") as handle:
+            source = handle.read()
+    except (OSError, TypeError):
+        try:
+            source = inspect.getsource(module).encode("utf-8")
+        except (OSError, TypeError):
+            return ""
+    return hashlib.sha256(source).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -39,6 +60,9 @@ class ExperimentSpec:
     run: Callable[..., Any]
     parameters: Tuple[ParameterSpec, ...]
     fast_params: Mapping[str, Any]
+    #: Digest of the runner module's source; folded into cache keys so
+    #: editing a runner invalidates its cached results.
+    source_digest: str = ""
 
     @property
     def parameter_names(self) -> Tuple[str, ...]:
@@ -134,6 +158,7 @@ def _spec_from_module(module: Any) -> ExperimentSpec:
         run=run,
         parameters=parameters,
         fast_params=fast_params,
+        source_digest=module_source_digest(module),
     )
 
 

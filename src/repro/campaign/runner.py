@@ -15,7 +15,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import ResultCache, job_key
 from repro.campaign.registry import get_registry
 from repro.errors import ExperimentError
 from repro.stats.aggregate import aggregate_experiment_results
@@ -24,11 +24,21 @@ from repro.stats.results import ExperimentResult
 
 @dataclass(frozen=True)
 class CampaignJob:
-    """One unit of work: an experiment at fixed parameters with one seed."""
+    """One unit of work: an experiment at fixed parameters with one seed.
+
+    ``code_version`` (the runner module's source digest) versions the job's
+    cache entries; :meth:`CampaignRunner.run_campaign` fills it in from the
+    registry spec.
+    """
 
     experiment_id: str
     params: Mapping[str, Any]
     seed: int
+    code_version: str = ""
+
+    def key(self) -> str:
+        """Cache/dedup key for this job's coordinates."""
+        return job_key(self.experiment_id, self.params, self.seed, self.code_version)
 
     def describe(self) -> str:
         """Short human-readable job label."""
@@ -40,7 +50,7 @@ class JobOutcome:
     """What happened to one job: where the result came from, or why it failed."""
 
     job: CampaignJob
-    status: str  #: ``"ran"`` | ``"cached"`` | ``"error"`` | ``"timeout"``
+    status: str  #: ``"ran"`` | ``"cached"`` | ``"deduped"`` | ``"error"`` | ``"timeout"``
     result: Optional[ExperimentResult] = None
     error: str = ""
     elapsed: float = 0.0
@@ -74,6 +84,7 @@ class CampaignOutcome:
             "job_stats": {
                 "ran": sum(1 for o in self.outcomes if o.status == "ran"),
                 "cached": sum(1 for o in self.outcomes if o.status == "cached"),
+                "deduped": sum(1 for o in self.outcomes if o.status == "deduped"),
                 "failed": sum(1 for o in self.outcomes if not o.ok),
             },
         }
@@ -142,13 +153,27 @@ class CampaignRunner:
     # Batch execution
     # ------------------------------------------------------------------
     def run_jobs(self, batch: Sequence[CampaignJob]) -> List[JobOutcome]:
-        """Run a batch, serving cached jobs first and fanning the rest out."""
+        """Run a batch, serving cached jobs first and fanning the rest out.
+
+        Identical (experiment, params, seed, code) jobs inside one batch are
+        deduplicated: the first occurrence executes, duplicates share its
+        outcome with status ``"deduped"`` — duplicate submissions cost one
+        execution, not N.
+        """
         outcomes: Dict[int, JobOutcome] = {}
         pending: List[int] = []
+        primary_for_key: Dict[str, int] = {}
+        duplicate_of: Dict[int, int] = {}
         for index, job in enumerate(batch):
+            key = job.key()
+            if key in primary_for_key:
+                duplicate_of[index] = primary_for_key[key]
+                continue
+            primary_for_key[key] = index
             cached = None
             if self.cache is not None:
-                cached = self.cache.get(job.experiment_id, job.params, job.seed)
+                cached = self.cache.get(job.experiment_id, job.params, job.seed,
+                                        job.code_version)
             if cached is not None:
                 outcomes[index] = JobOutcome(
                     job=job, status="cached",
@@ -164,12 +189,21 @@ class CampaignRunner:
                 self._run_pool(batch, pending, outcomes)
             else:
                 self._run_inline(batch, pending, outcomes)
+
+        for index, primary_index in duplicate_of.items():
+            primary = outcomes[primary_index]
+            outcomes[index] = JobOutcome(
+                job=batch[index], status="deduped",
+                result=primary.result, error=primary.error)
+            self.progress(f"{batch[index].describe()}: deduped "
+                          f"(same coordinates as job #{primary_index})")
         return [outcomes[index] for index in range(len(batch))]
 
     def _finish(self, index: int, job: CampaignJob, result_dict: Dict[str, Any],
                 elapsed: float, outcomes: Dict[int, JobOutcome]) -> None:
         if self.cache is not None:
-            self.cache.put(job.experiment_id, job.params, job.seed, result_dict)
+            self.cache.put(job.experiment_id, job.params, job.seed, result_dict,
+                           job.code_version)
         outcomes[index] = JobOutcome(
             job=job, status="ran",
             result=ExperimentResult.from_dict(result_dict), elapsed=elapsed)
@@ -249,7 +283,8 @@ class CampaignRunner:
             raise ExperimentError("need at least one seed")
         spec = get_registry().get(experiment_id)
         params = spec.resolve_params(overrides, fast=fast)
-        batch = [CampaignJob(experiment_id=experiment_id, params=params, seed=seed)
+        batch = [CampaignJob(experiment_id=experiment_id, params=params, seed=seed,
+                             code_version=spec.source_digest)
                  for seed in seeds]
         outcomes = self.run_jobs(batch)
         replicas = {outcome.job.seed: outcome.result

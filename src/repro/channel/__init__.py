@@ -9,7 +9,9 @@ operating point.
 
 from repro.channel.propagation import (
     FreeSpacePathLoss,
+    LinkAwarePropagationModel,
     LogDistancePathLoss,
+    LogNormalShadowing,
     PropagationModel,
     hydra_indoor_propagation,
 )
@@ -17,8 +19,10 @@ from repro.channel.medium import Transmission, WirelessChannel
 
 __all__ = [
     "PropagationModel",
+    "LinkAwarePropagationModel",
     "FreeSpacePathLoss",
     "LogDistancePathLoss",
+    "LogNormalShadowing",
     "hydra_indoor_propagation",
     "Transmission",
     "WirelessChannel",

@@ -6,6 +6,14 @@ every other PHY from the propagation model and delivers *begin-reception* and
 *end-reception* events after the (negligible but modelled) propagation delay.
 Collision and capture decisions are the receiving PHY's job; the channel only
 reports who hears what, and how loudly.
+
+Positions are **time-varying**: every link-budget computation asks each PHY
+for ``position_at(now)`` — the exact analytic position under its mobility
+model, evaluated at transmission start — instead of reading a cached static
+coordinate.  For stationary PHYs (the paper's entire evaluation) this
+degenerates to the static position, bit for bit.  Link-aware propagation
+models (per-link shadowing) are consulted through ``path_loss_between``; see
+:mod:`repro.channel.propagation`.
 """
 
 from __future__ import annotations
@@ -53,6 +61,10 @@ class WirelessChannel:
     ) -> None:
         self.sim = sim
         self.propagation = propagation or hydra_indoor_propagation()
+        if hasattr(self.propagation, "bind"):
+            # Link-aware models (e.g. LogNormalShadowing) draw per-link
+            # offsets from the simulator's seeded streams.
+            self.propagation.bind(sim.random)
         self.noise_floor_dbm = noise_floor_dbm
         self.propagation_delay_enabled = propagation_delay_enabled
         self._phys: List["Phy"] = []
@@ -82,9 +94,21 @@ class WirelessChannel:
     # ------------------------------------------------------------------
     # Link budget helpers
     # ------------------------------------------------------------------
-    def received_power_dbm(self, sender: "Phy", receiver: "Phy", tx_power_dbm: float) -> float:
-        """Received power at ``receiver`` for a transmission by ``sender``."""
-        loss = self.propagation.path_loss_db(sender.position, receiver.position)
+    def received_power_dbm(self, sender: "Phy", receiver: "Phy", tx_power_dbm: float,
+                           time: Optional[float] = None) -> float:
+        """Received power at ``receiver`` for a transmission by ``sender``.
+
+        Evaluated against exact positions at ``time`` (default: now, i.e. the
+        start of the transmission being budgeted).
+        """
+        when = self.sim.now if time is None else time
+        tx_position = sender.position_at(when)
+        rx_position = receiver.position_at(when)
+        if hasattr(self.propagation, "path_loss_between"):
+            loss = self.propagation.path_loss_between(
+                sender.name, receiver.name, tx_position, rx_position, when)
+        else:
+            loss = self.propagation.path_loss_db(tx_position, rx_position)
         return tx_power_dbm - loss
 
     def link_snr_db(self, sender: "Phy", receiver: "Phy",
@@ -94,10 +118,12 @@ class WirelessChannel:
         return self.received_power_dbm(sender, receiver, power) - self.noise_floor_dbm
 
     def propagation_delay(self, sender: "Phy", receiver: "Phy") -> float:
-        """One-way propagation delay between two PHYs."""
+        """One-way propagation delay between two PHYs (at their positions now)."""
         if not self.propagation_delay_enabled:
             return 0.0
-        return distance_between(sender.position, receiver.position) / SPEED_OF_LIGHT
+        now = self.sim.now
+        return distance_between(sender.position_at(now),
+                                receiver.position_at(now)) / SPEED_OF_LIGHT
 
     # ------------------------------------------------------------------
     # Transmission

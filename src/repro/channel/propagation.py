@@ -1,18 +1,26 @@
 """Radio propagation (path loss) models.
 
-Only large-scale path loss is modelled: the experiments in the paper run at a
-fixed 25 dB SNR indoors with stationary nodes, and small-scale effects enter
-the reproduction through the PHY error model (noise term + channel-estimate
-aging) rather than through per-packet fading draws.
+The experiments in the paper run at a fixed 25 dB SNR indoors with stationary
+nodes, so the seed models capture large-scale path loss only; small-scale
+effects enter the reproduction through the PHY error model (noise term +
+channel-estimate aging) rather than per-packet fading draws.
+
+For the mobile scenarios (which go beyond the paper's setup),
+:class:`LogNormalShadowing` layers a deterministic per-link shadowing offset
+on top of any base model so that node motion changes *loss*, not merely
+distance.  Models that need link identity implement the extended
+:class:`LinkAwarePropagationModel` protocol, which the channel prefers when
+present.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Protocol, Tuple
+from typing import Dict, Optional, Protocol, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim.randomness import RandomStreams
 
 Position = Tuple[float, float]
 
@@ -27,6 +35,19 @@ class PropagationModel(Protocol):
 
     def path_loss_db(self, tx_position: Position, rx_position: Position) -> float:
         """Path loss in dB between transmitter and receiver."""
+
+
+class LinkAwarePropagationModel(Protocol):
+    """A propagation model whose loss depends on *which* link is evaluated.
+
+    The channel calls this extended form (when available) with the endpoint
+    identities and the evaluation time, which is what per-link shadowing and
+    time-varying channels need; pure-distance models only ever see positions.
+    """
+
+    def path_loss_between(self, tx_key: str, rx_key: str, tx_position: Position,
+                          rx_position: Position, time: float) -> float:
+        """Path loss in dB on the ``tx_key`` → ``rx_key`` link at ``time``."""
 
 
 @dataclass
@@ -69,6 +90,83 @@ class LogDistancePathLoss:
         return self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
             distance / self.reference_distance
         )
+
+
+class LogNormalShadowing:
+    """Per-link log-normal shadowing on top of a base path-loss model.
+
+    Each (transmitter, receiver) link gets a Gaussian-in-dB offset with
+    standard deviation ``sigma_db``, drawn from a stream derived from the
+    simulator's root seed and the link's identity — so offsets are
+    deterministic per seed, independent of the order in which links are first
+    evaluated, and reproducible across processes.  With ``symmetric=True``
+    (the default) both directions of a link share one draw, as physical
+    shadowing is reciprocal.
+
+    ``coherence_time`` makes the channel time-varying even for stationary
+    endpoints: the offset is redrawn once per coherence epoch
+    (``floor(t / coherence_time)``), each epoch's draw again coming from its
+    own derived stream.  ``None`` keeps one static draw per link.
+
+    The channel binds the model to the simulator's random streams at
+    construction (see :class:`~repro.channel.medium.WirelessChannel`); using
+    the plain position-only ``path_loss_db`` interface returns the base loss
+    without shadowing, because link identity is unknown there.
+    """
+
+    def __init__(self, base: Optional[PropagationModel] = None, sigma_db: float = 6.0,
+                 coherence_time: Optional[float] = None, symmetric: bool = True) -> None:
+        if sigma_db < 0:
+            raise ConfigurationError("sigma_db must be non-negative")
+        if coherence_time is not None and coherence_time <= 0:
+            raise ConfigurationError("coherence_time must be positive")
+        self.base = base or hydra_indoor_propagation()
+        self.sigma_db = sigma_db
+        self.coherence_time = coherence_time
+        self.symmetric = symmetric
+        self._streams: Optional[RandomStreams] = None
+        self._offsets: Dict[Tuple[str, str, int], float] = {}
+
+    def bind(self, streams: RandomStreams) -> None:
+        """Attach the simulator's random streams (the channel calls this).
+
+        Rebinding (reusing one model instance across simulators) drops the
+        cached offsets: draws must come from the *current* simulator's seed,
+        never from whatever run happened to evaluate a link first.
+        """
+        self._streams = streams.fork("propagation.shadowing")
+        self._offsets.clear()
+
+    def _link_key(self, tx_key: str, rx_key: str) -> Tuple[str, str]:
+        if self.symmetric and rx_key < tx_key:
+            return (rx_key, tx_key)
+        return (tx_key, rx_key)
+
+    def shadowing_db(self, tx_key: str, rx_key: str, time: float = 0.0) -> float:
+        """The (cached) shadowing offset for one link at ``time``."""
+        if self._streams is None:
+            raise ConfigurationError(
+                "LogNormalShadowing is not bound to a simulator; pass it to a "
+                "WirelessChannel (or call bind()) before evaluating links")
+        if self.sigma_db == 0.0:
+            return 0.0
+        epoch = 0 if self.coherence_time is None else int(time // self.coherence_time)
+        a, b = self._link_key(tx_key, rx_key)
+        cache_key = (a, b, epoch)
+        if cache_key not in self._offsets:
+            stream = self._streams.stream(f"link.{a}|{b}#epoch{epoch}")
+            self._offsets[cache_key] = stream.gauss(0.0, self.sigma_db)
+        return self._offsets[cache_key]
+
+    def path_loss_between(self, tx_key: str, rx_key: str, tx_position: Position,
+                          rx_position: Position, time: float) -> float:
+        """Base loss plus the link's shadowing offset."""
+        return (self.base.path_loss_db(tx_position, rx_position)
+                + self.shadowing_db(tx_key, rx_key, time))
+
+    def path_loss_db(self, tx_position: Position, rx_position: Position) -> float:
+        """Position-only fallback: base loss without shadowing."""
+        return self.base.path_loss_db(tx_position, rx_position)
 
 
 def hydra_indoor_propagation() -> LogDistancePathLoss:

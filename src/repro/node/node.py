@@ -3,6 +3,11 @@
 This mirrors the Hydra block diagram (Figure 3 of the paper): the radio/PHY
 at the bottom, the Click-based MAC and routing in the middle and the Linux
 protocol stack (here: the ``repro`` UDP/TCP implementations) on top.
+
+Beyond the paper's stationary testbed, a node may carry a
+:mod:`repro.mobility` model (:meth:`Node.set_mobility`); ``position`` then
+tracks the model's scheduler-driven updates and :meth:`Node.position_at`
+answers exactly for any time.
 """
 
 from __future__ import annotations
@@ -39,7 +44,6 @@ class Node:
         self.sim = sim
         self.channel = channel
         self.index = index
-        self.position = position
         self.profile = profile or default_hydra_profile()
         self.policy = policy or broadcast_aggregation()
 
@@ -79,6 +83,31 @@ class Node:
         # --- transport layers ------------------------------------------------
         self.udp = UdpLayer(sim, self.network, self.ip)
         self.tcp = TcpLayer(sim, self.network, self.ip)
+
+    # ------------------------------------------------------------------
+    # Position and mobility (delegated to the PHY)
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Tuple[float, float]:
+        """Current position snapshot (the PHY's, kept fresh by mobility updates)."""
+        return self.phy.position
+
+    @position.setter
+    def position(self, value: Tuple[float, float]) -> None:
+        self.phy.position = value
+
+    def position_at(self, time: float) -> Tuple[float, float]:
+        """Exact analytic position at simulated ``time``."""
+        return self.phy.position_at(time)
+
+    @property
+    def mobility(self):
+        """The attached mobility model, if any."""
+        return self.phy.mobility
+
+    def set_mobility(self, model, start: bool = True, stop_time: float = None):
+        """Attach a mobility model to this node's PHY."""
+        return self.phy.set_mobility(model, start=start, stop_time=stop_time)
 
     # ------------------------------------------------------------------
     # Convenience accessors

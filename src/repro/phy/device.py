@@ -22,6 +22,7 @@ from repro.sim.simulator import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.channel.medium import Transmission, WirelessChannel
+    from repro.mobility.models import MobilityModel
 
 
 class PhyListener(Protocol):
@@ -98,7 +99,10 @@ class Phy:
         self.sim = sim
         self.channel = channel
         self.config = config or PhyConfig()
+        #: Latest position snapshot; refreshed by mobility update events.
+        #: Link budgets use :meth:`position_at` (exact) instead of this.
         self.position = position
+        self.mobility: Optional["MobilityModel"] = None
         self.name = name
         self.error_model = ErrorModel(self.config.error)
         self._rng = sim.random.stream(f"phy.{name}")
@@ -126,6 +130,33 @@ class Phy:
     def listener(self) -> Optional[PhyListener]:
         """The attached MAC, if any."""
         return self._listener
+
+    def set_mobility(self, model: "MobilityModel", start: bool = True,
+                     stop_time: Optional[float] = None) -> "MobilityModel":
+        """Attach a mobility model (and start its position update events).
+
+        ``stop_time`` bounds the periodic updates so a mobile run whose
+        traffic has drained does not keep the event queue alive forever.
+        """
+        if self.mobility is not None:
+            raise PhyError(f"{self.name}: a mobility model is already attached")
+        self.mobility = model
+        model.attach(self)
+        if start:
+            model.start(stop_time=stop_time)
+        return model
+
+    def position_at(self, time: float) -> tuple:
+        """Exact position at simulated ``time``.
+
+        Without a mobility model this is the static ``position`` attribute —
+        the same tuple object, so stationary scenarios are unchanged bit for
+        bit.  With one, the model interpolates analytically between waypoints
+        regardless of the update-event granularity.
+        """
+        if self.mobility is None:
+            return self.position
+        return self.mobility.position_at(time)
 
     # ------------------------------------------------------------------
     # State

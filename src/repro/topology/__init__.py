@@ -1,6 +1,11 @@
-"""Topology builders: the linear chains and star used in the paper."""
+"""Topology builders: the paper's linear chains and star, plus mobile scenarios.
+
+:class:`~repro.topology.mobile.MobileScenario` goes beyond the paper's
+stationary testbed by wiring :mod:`repro.mobility` models to networks.
+"""
 
 from repro.topology.network import Network
 from repro.topology.builders import build_linear_chain, build_star
+from repro.topology.mobile import MobileScenario
 
-__all__ = ["Network", "build_linear_chain", "build_star"]
+__all__ = ["MobileScenario", "Network", "build_linear_chain", "build_star"]

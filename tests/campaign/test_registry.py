@@ -14,6 +14,8 @@ from repro.errors import ExperimentError
 EXPECTED_IDS = {
     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
     "table02", "table03", "table04", "table05_07", "table08",
+    # Mobile-scenario experiments (beyond the paper's stationary setup).
+    "mob01", "mob02",
 }
 
 

@@ -176,7 +176,7 @@ def test_cli_run_and_report_roundtrip(tmp_path, capsys):
     payload = json.loads(out_path.read_text())
     series = payload["aggregate"]["series"]["0.65 Mbps"]
     assert len(series["y_values"]) == len(series["y_errors"]) == 2
-    assert payload["job_stats"] == {"ran": 0, "cached": 2, "failed": 0}
+    assert payload["job_stats"] == {"ran": 0, "cached": 2, "deduped": 0, "failed": 0}
 
     assert main(["report", str(out_path), "--replicas"]) == 0
     report = capsys.readouterr().out

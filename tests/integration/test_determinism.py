@@ -2,14 +2,18 @@
 
 The campaign layer replicates experiments across seeds and processes, which
 is only sound if (a) the same seed always produces byte-identical results and
-(b) different seeds actually explore different random trajectories.
+(b) different seeds actually explore different random trajectories.  The
+mobile scenarios (trajectories, per-link shadowing draws) are held to the
+same contract, in-process and across pool workers.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.campaign.runner import CampaignRunner
 from repro.core.policies import broadcast_aggregation, unicast_aggregation
+from repro.experiments import mob01_flooding_mobility, mob02_tcp_handoff
 from repro.experiments.scenarios import (
     run_star_tcp,
     run_tcp_transfer,
@@ -19,6 +23,13 @@ from repro.units import throughput_mbps
 
 FILE_BYTES = 30_000
 UDP_DURATION = 3.0
+
+#: Reduced mobile-scenario parameters (see the modules' FAST_PARAMS for the
+#: campaign-scale sweeps; these are smaller still to keep this file quick).
+TINY_MOB01 = {"speeds_mps": (3.0,), "node_count": 4, "duration": 1.5,
+              "flooding_interval": 0.25}
+TINY_MOB02 = {"orbit_periods": (6.0,), "file_bytes": 15_000, "max_sim_time": 15.0,
+              "include_no_aggregation": False, "include_stationary_baseline": False}
 
 
 def _tcp_signature(seed: int) -> str:
@@ -42,16 +53,40 @@ def _star_signature(seed: int) -> str:
                  [receiver.completion_time for receiver in result.receivers]))
 
 
-@pytest.mark.parametrize("signature", [_tcp_signature, _udp_signature, _star_signature],
-                         ids=["tcp_transfer", "udp_saturation", "star_tcp"])
+def _mob01_signature(seed: int) -> str:
+    return repr(mob01_flooding_mobility.run(**TINY_MOB01, seed=seed).to_dict())
+
+
+def _mob02_signature(seed: int) -> str:
+    return repr(mob02_tcp_handoff.run(**TINY_MOB02, seed=seed).to_dict())
+
+
+ALL_SIGNATURES = [_tcp_signature, _udp_signature, _star_signature,
+                  _mob01_signature, _mob02_signature]
+SIGNATURE_IDS = ["tcp_transfer", "udp_saturation", "star_tcp",
+                 "mob01_flooding_mobility", "mob02_tcp_handoff"]
+
+
+@pytest.mark.parametrize("signature", ALL_SIGNATURES, ids=SIGNATURE_IDS)
 def test_same_seed_runs_are_byte_identical(signature):
     assert signature(1) == signature(1)
 
 
-@pytest.mark.parametrize("signature", [_tcp_signature, _udp_signature, _star_signature],
-                         ids=["tcp_transfer", "udp_saturation", "star_tcp"])
+@pytest.mark.parametrize("signature", ALL_SIGNATURES, ids=SIGNATURE_IDS)
 def test_different_seeds_diverge(signature):
     assert signature(1) != signature(2)
+
+
+def test_mobile_campaign_across_pool_workers_matches_inline():
+    # Mobility draws (trajectories, shadowing) must replicate byte for byte
+    # in a fresh worker process, or the campaign cache would mix histories.
+    inline = CampaignRunner(jobs=1).run_campaign("mob01", seeds=[1, 2],
+                                                 overrides=TINY_MOB01)
+    pooled = CampaignRunner(jobs=2).run_campaign("mob01", seeds=[1, 2],
+                                                 overrides=TINY_MOB01)
+    assert pooled.replicas[1].to_dict() == inline.replicas[1].to_dict()
+    assert pooled.replicas[2].to_dict() == inline.replicas[2].to_dict()
+    assert pooled.aggregate.to_dict() == inline.aggregate.to_dict()
 
 
 # ---------------------------------------------------------------------------

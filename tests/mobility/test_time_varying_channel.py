@@ -1,0 +1,224 @@
+"""Time-varying link budgets, log-normal shadowing, and the stationary contract.
+
+The mobility subsystem's central promise: the channel evaluates propagation
+against exact positions at transmission start, per-link shadowing draws are
+deterministic per seed, and a scenario built with ``Stationary`` models (or
+no models at all) reproduces the static builders bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.cbr import CbrSource, UdpSink
+from repro.channel.medium import WirelessChannel
+from repro.channel.propagation import (
+    LogDistancePathLoss,
+    LogNormalShadowing,
+    hydra_indoor_propagation,
+)
+from repro.core.policies import unicast_aggregation
+from repro.errors import ConfigurationError, PhyError
+from repro.mobility.models import CircularOrbit, Stationary
+from repro.phy.device import Phy
+from repro.sim.simulator import Simulator
+from repro.topology.builders import build_linear_chain
+from repro.topology.mobile import MobileScenario
+from repro.units import mbps
+
+
+def _two_phys(sim, propagation=None):
+    channel = WirelessChannel(sim, propagation=propagation)
+    a = Phy(sim, channel, position=(0.0, 0.0), name="a")
+    b = Phy(sim, channel, position=(5.0, 0.0), name="b")
+    return channel, a, b
+
+
+# ---------------------------------------------------------------------------
+# Time-varying positions in the link budget
+# ---------------------------------------------------------------------------
+
+def test_position_at_defaults_to_the_static_attribute():
+    sim = Simulator(seed=1)
+    _, a, _ = _two_phys(sim)
+    assert a.position_at(0.0) is a.position
+    assert a.position_at(123.0) is a.position
+
+
+def test_link_budget_follows_the_mobile_node():
+    sim = Simulator(seed=1)
+    channel, a, b = _two_phys(sim)
+    b.set_mobility(CircularOrbit(radius=2.5, period=8.0, center=(5.0, 0.0),
+                                 phase_rad=math.pi))  # starts at (2.5, 0)
+    snr_near = channel.link_snr_db(a, b)
+    samples = []
+    sim.schedule(4.0, lambda: samples.append(channel.link_snr_db(a, b)))
+    sim.run(until=8.0)
+    # Half a period later the orbit put b at (7.5, 0): 3x the distance.
+    snr_far = samples[0]
+    assert snr_near > snr_far
+    expected_drop = 10.0 * 3.0 * math.log10(7.5 / 2.5)  # log-distance, n=3
+    assert snr_near - snr_far == pytest.approx(expected_drop, rel=1e-6)
+
+
+def test_received_power_uses_positions_at_the_given_time():
+    sim = Simulator(seed=1)
+    channel, a, b = _two_phys(sim)
+    b.set_mobility(CircularOrbit(radius=2.5, period=8.0, center=(5.0, 0.0),
+                                 phase_rad=math.pi), start=False)
+    loss = hydra_indoor_propagation()
+    for t in (0.0, 1.3, 4.0):
+        expected = a.config.tx_power_dbm - loss.path_loss_db(
+            a.position_at(t), b.position_at(t))
+        assert channel.received_power_dbm(a, b, a.config.tx_power_dbm,
+                                          time=t) == pytest.approx(expected)
+
+
+def test_attaching_a_second_mobility_model_is_rejected():
+    sim = Simulator(seed=1)
+    _, a, _ = _two_phys(sim)
+    a.set_mobility(Stationary())
+    with pytest.raises(PhyError, match="already attached"):
+        a.set_mobility(Stationary())
+
+
+# ---------------------------------------------------------------------------
+# Log-normal shadowing
+# ---------------------------------------------------------------------------
+
+def test_shadowing_offsets_are_deterministic_per_seed():
+    offsets = []
+    for _ in range(2):
+        sim = Simulator(seed=5)
+        channel, a, b = _two_phys(sim, propagation=LogNormalShadowing(sigma_db=6.0))
+        offsets.append(channel.propagation.shadowing_db("a", "b", 0.0))
+    assert offsets[0] == offsets[1]
+    sim = Simulator(seed=6)
+    channel, a, b = _two_phys(sim, propagation=LogNormalShadowing(sigma_db=6.0))
+    assert channel.propagation.shadowing_db("a", "b", 0.0) != offsets[0]
+
+
+def test_shadowing_is_symmetric_and_link_specific():
+    sim = Simulator(seed=5)
+    model = LogNormalShadowing(sigma_db=6.0)
+    WirelessChannel(sim, propagation=model)
+    assert model.shadowing_db("a", "b") == model.shadowing_db("b", "a")
+    assert model.shadowing_db("a", "b") != model.shadowing_db("a", "c")
+    asym = LogNormalShadowing(sigma_db=6.0, symmetric=False)
+    WirelessChannel(Simulator(seed=5), propagation=asym)
+    assert asym.shadowing_db("a", "b") != asym.shadowing_db("b", "a")
+
+
+def test_shadowing_offset_is_independent_of_evaluation_order():
+    sim = Simulator(seed=5)
+    first = LogNormalShadowing(sigma_db=6.0)
+    WirelessChannel(sim, propagation=first)
+    ab_first = first.shadowing_db("a", "b")
+
+    second = LogNormalShadowing(sigma_db=6.0)
+    WirelessChannel(Simulator(seed=5), propagation=second)
+    second.shadowing_db("c", "d")  # different link evaluated first
+    assert second.shadowing_db("a", "b") == ab_first
+
+
+def test_shadowing_applies_on_top_of_the_base_model():
+    sim = Simulator(seed=5)
+    base = LogDistancePathLoss()
+    model = LogNormalShadowing(base=base, sigma_db=6.0)
+    channel, a, b = _two_phys(sim, propagation=model)
+    expected = base.path_loss_db(a.position, b.position) + model.shadowing_db("a", "b")
+    measured = a.config.tx_power_dbm - channel.received_power_dbm(
+        a, b, a.config.tx_power_dbm)
+    assert measured == pytest.approx(expected)
+    # The position-only protocol cannot know the link: base loss only.
+    assert model.path_loss_db(a.position, b.position) == base.path_loss_db(
+        a.position, b.position)
+
+
+def test_shadowing_coherence_time_redraws_per_epoch():
+    model = LogNormalShadowing(sigma_db=6.0, coherence_time=2.0)
+    WirelessChannel(Simulator(seed=5), propagation=model)
+    early = model.shadowing_db("a", "b", 0.5)
+    assert model.shadowing_db("a", "b", 1.9) == early  # same epoch
+    assert model.shadowing_db("a", "b", 2.1) != early  # next epoch
+    static = LogNormalShadowing(sigma_db=6.0)
+    WirelessChannel(Simulator(seed=5), propagation=static)
+    assert static.shadowing_db("a", "b", 0.0) == static.shadowing_db("a", "b", 99.0)
+
+
+def test_unbound_shadowing_refuses_link_evaluation():
+    model = LogNormalShadowing(sigma_db=6.0)
+    with pytest.raises(ConfigurationError, match="not bound"):
+        model.shadowing_db("a", "b")
+    with pytest.raises(ConfigurationError):
+        LogNormalShadowing(sigma_db=-1.0)
+    with pytest.raises(ConfigurationError):
+        LogNormalShadowing(coherence_time=0.0)
+
+
+def test_rebinding_shadowing_drops_offsets_from_the_previous_run():
+    # Reusing one model instance across simulators (e.g. a sweep loop) must
+    # serve each run the draws of *its* seed, not whatever ran first.
+    shared = LogNormalShadowing(sigma_db=6.0)
+    WirelessChannel(Simulator(seed=1), propagation=shared)
+    offset_seed1 = shared.shadowing_db("a", "b")
+    WirelessChannel(Simulator(seed=2), propagation=shared)
+    fresh = LogNormalShadowing(sigma_db=6.0)
+    WirelessChannel(Simulator(seed=2), propagation=fresh)
+    assert shared.shadowing_db("a", "b") == fresh.shadowing_db("a", "b")
+    assert shared.shadowing_db("a", "b") != offset_seed1
+
+
+def test_mobile_scenario_rejects_channel_plus_propagation():
+    sim = Simulator(seed=1)
+    channel = WirelessChannel(sim)
+    with pytest.raises(ConfigurationError, match="not.*both|both"):
+        MobileScenario(sim, policy=unicast_aggregation(), channel=channel,
+                       propagation=LogNormalShadowing(sigma_db=6.0))
+
+
+def test_zero_sigma_shadowing_is_transparent():
+    model = LogNormalShadowing(sigma_db=0.0)
+    WirelessChannel(Simulator(seed=5), propagation=model)
+    assert model.shadowing_db("a", "b") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# The stationary contract
+# ---------------------------------------------------------------------------
+
+def _udp_signature(network, sim, duration=1.5):
+    sink = UdpSink(network.node(2))
+    source = CbrSource.saturating(network.node(1), network.node(2).ip,
+                                  link_rate_bps=mbps(0.65))
+    source.start(0.001)
+    sim.run(until=duration)
+    return repr((sink.packets_received, sink.bytes_received, sink.first_arrival,
+                 sink.last_arrival, network.node(1).mac_stats.data_transmissions,
+                 network.node(1).phy.frames_sent, network.node(2).phy.frames_received))
+
+
+def _mobile_chain(seed, with_models):
+    sim = Simulator(seed=seed)
+    scenario = MobileScenario(sim, policy=unicast_aggregation(),
+                              unicast_rate_mbps=0.65)
+    scenario.add_node((0.0, 0.0), Stationary() if with_models else None)
+    scenario.add_node((2.5, 0.0), Stationary() if with_models else None)
+    scenario.connect_chain(1, 2)
+    return sim, scenario.network
+
+
+def test_stationary_models_reproduce_the_static_scenario_bit_for_bit():
+    sim_static, static = _mobile_chain(3, with_models=False)
+    sim_model, modelled = _mobile_chain(3, with_models=True)
+    assert _udp_signature(static, sim_static) == _udp_signature(modelled, sim_model)
+
+
+def test_mobile_scenario_matches_the_static_builder_bit_for_bit():
+    sim_builder = Simulator(seed=3)
+    built = build_linear_chain(sim_builder, hops=1, policy=unicast_aggregation(),
+                               unicast_rate_mbps=0.65)
+    sim_mobile, mobile = _mobile_chain(3, with_models=False)
+    assert _udp_signature(built, sim_builder) == _udp_signature(mobile, sim_mobile)
