@@ -91,6 +91,9 @@ class UdpSink:
         self.bytes_received = 0
         self.first_arrival: Optional[float] = None
         self.last_arrival: Optional[float] = None
+        #: Largest gap between consecutive arrivals — the application's view
+        #: of an outage (used by the failover experiments).
+        self.largest_arrival_gap = 0.0
         #: Byte-counter snapshots usable as measurement-window starts.
         self._snapshots = {0.0: 0}
 
@@ -99,6 +102,9 @@ class UdpSink:
         self.bytes_received += packet.payload_bytes
         if self.first_arrival is None:
             self.first_arrival = self.sim.now
+        else:
+            self.largest_arrival_gap = max(self.largest_arrival_gap,
+                                           self.sim.now - self.last_arrival)
         self.last_arrival = self.sim.now
 
     def snapshot_at(self, time: float) -> None:

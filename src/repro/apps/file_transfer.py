@@ -26,6 +26,7 @@ class FileTransferSender:
 
     def __init__(self, node, destination: IpAddress, destination_port: int = 5001,
                  file_bytes: int = PAPER_FILE_BYTES, mss: int = PAPER_MSS,
+                 connection_options: Optional[dict] = None,
                  name: Optional[str] = None) -> None:
         if file_bytes <= 0:
             raise ConfigurationError("file size must be positive")
@@ -35,6 +36,7 @@ class FileTransferSender:
         self.destination_port = destination_port
         self.file_bytes = file_bytes
         self.mss = mss
+        self.connection_options = dict(connection_options or {})
         self.name = name or f"ftp-send-{node.index}"
         self.connection: Optional[TcpConnection] = None
         self.start_time: Optional[float] = None
@@ -47,7 +49,7 @@ class FileTransferSender:
     def _begin(self) -> None:
         self.start_time = self.sim.now
         self.connection = self.node.tcp.connect(self.destination, self.destination_port,
-                                                mss=self.mss)
+                                                mss=self.mss, **self.connection_options)
         self.connection.on_established = self._on_established
         self.connection.on_send_complete = self._on_send_complete
 
@@ -106,10 +108,18 @@ class FileTransferReceiver:
 
 def run_file_transfer_pair(sender_node, receiver_node, file_bytes: int = PAPER_FILE_BYTES,
                            port: int = 5001, mss: int = PAPER_MSS,
-                           start_delay: float = 0.0) -> Tuple[FileTransferSender, FileTransferReceiver]:
-    """Convenience: wire up a sender and receiver for a one-way transfer."""
+                           start_delay: float = 0.0,
+                           connection_options: Optional[dict] = None,
+                           ) -> Tuple[FileTransferSender, FileTransferReceiver]:
+    """Convenience: wire up a sender and receiver for a one-way transfer.
+
+    ``connection_options`` are forwarded to the sender's
+    :class:`~repro.transport.tcp.connection.TcpConnection` (e.g.
+    ``{"idle_reprobe": True}`` for the outage mitigation).
+    """
     receiver = FileTransferReceiver(receiver_node, local_port=port, expected_bytes=file_bytes)
     sender = FileTransferSender(sender_node, destination=receiver_node.ip,
-                                destination_port=port, file_bytes=file_bytes, mss=mss)
+                                destination_port=port, file_bytes=file_bytes, mss=mss,
+                                connection_options=connection_options)
     sender.start(start_delay)
     return sender, receiver

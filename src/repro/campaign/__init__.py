@@ -26,19 +26,24 @@ pass ``--full`` for the paper-scale sweep)::
     $ python -m repro.campaign list
     $ python -m repro.campaign run fig09 --seeds 5 --jobs 4
 
-or sweep every registered experiment (the mobile-scenario experiments
-``mob01``/``mob02`` included) at smoke scale::
+or sweep every registered experiment (the mobile/routing experiments
+``mob01`` … ``mob04`` and ``rt01`` included) at smoke scale — optionally
+filtered by shell-style globs so CI can smoke the mobile+routing scenarios
+separately from the paper figures::
 
     $ python -m repro.campaign run-all --seeds 1 --jobs 4
+    $ python -m repro.campaign run-all --seeds 1 --jobs 4 --experiments 'mob*,rt*'
 
 The run prints the aggregated figure (mean y-values; 95% CI half-widths are
 stored in each series' ``y_errors``) and writes ``campaign_fig09.json`` with
 the aggregate plus every per-seed replica.  Because each completed job is
 cached under ``.campaign-cache/``, re-running the same command is served
 entirely from cache, and raising ``--seeds`` only executes the new seeds.
-Inspect a results file later with::
+Inspect a results file later — or render it as a standalone SVG plot with
+95%-CI error bars (hand-rolled writer, no matplotlib) — with::
 
     $ python -m repro.campaign report campaign_fig09.json --replicas
+    $ python -m repro.campaign report campaign_fig09.json --svg fig09.svg
 
 Programmatic use mirrors the CLI::
 

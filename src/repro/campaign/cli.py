@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import fnmatch
 import json
 import os
 import sys
@@ -13,6 +14,7 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.registry import get_registry
 from repro.campaign.runner import CampaignOutcome, CampaignRunner
 from repro.errors import ReproError
+from repro.stats.svg import write_svg
 
 DEFAULT_CACHE_DIR = ".campaign-cache"
 
@@ -87,12 +89,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _select_experiments(patterns: Optional[Sequence[str]],
+                        experiment_ids: Sequence[str]) -> List[str]:
+    """Filter registry ids by shell-style globs (``--experiments 'mob*'``).
+
+    Patterns may be repeated and/or comma-separated; a pattern matching no
+    experiment is an error so typos do not silently run nothing.
+    """
+    if not patterns:
+        return list(experiment_ids)
+    selected: List[str] = []
+    for raw in patterns:
+        for pattern in filter(None, (p.strip() for p in raw.split(","))):
+            matches = fnmatch.filter(experiment_ids, pattern)
+            if not matches:
+                raise SystemExit(
+                    f"--experiments pattern {pattern!r} matches no experiment; "
+                    f"known: {', '.join(experiment_ids)}")
+            selected.extend(m for m in matches if m not in selected)
+    return selected
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
-    """Sweep every registered experiment (FAST_PARAMS by default)."""
+    """Sweep registered experiments (FAST_PARAMS by default, optionally globbed)."""
     registry = get_registry()
     runner = _build_runner(args)
     seeds = _seed_list(args)
-    experiment_ids = registry.experiment_ids()
+    experiment_ids = _select_experiments(args.experiments, registry.experiment_ids())
     if args.out_dir:
         os.makedirs(args.out_dir, exist_ok=True)
     print(f"run-all: {len(experiment_ids)} experiment(s) x {len(seeds)} seed(s), "
@@ -131,6 +154,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: cannot read results file {args.results_file!r}: {error!r}",
               file=sys.stderr)
         return 2
+    if args.svg:
+        write_svg(outcome.aggregate, args.svg)
+        print(f"SVG written to {args.svg}")
     print(f"campaign {outcome.experiment_id} over seeds {outcome.seeds}")
     print(f"params: {outcome.params}")
     missing = [seed for seed in outcome.seeds if seed not in outcome.replicas]
@@ -201,11 +227,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="bypass the result cache entirely")
     run_all_parser.add_argument("--out-dir", default=None,
                                 help="write campaign_<id>.json per experiment here")
+    run_all_parser.add_argument("--experiments", action="append", metavar="GLOB",
+                                help="only run experiments matching this "
+                                     "shell-style glob, e.g. 'mob*' or "
+                                     "'fig*,table*' (repeatable)")
 
     report_parser = commands.add_parser("report", help="pretty-print a results JSON file")
     report_parser.add_argument("results_file")
     report_parser.add_argument("--replicas", action="store_true",
                                help="also print every per-seed replica")
+    report_parser.add_argument("--svg", default=None, metavar="PATH",
+                               help="also render the aggregate (series + 95%% CI "
+                                    "error bars) as a standalone SVG plot")
     return parser
 
 

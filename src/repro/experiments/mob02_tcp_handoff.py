@@ -42,7 +42,7 @@ DEFAULT_ENDPOINT_GAP_M = 14.0
 
 def _run_once(policy: AggregationPolicy, orbit_period: Optional[float],
               orbit_radius_m: float, endpoint_gap_m: float, file_bytes: int,
-              rate_mbps: float, max_sim_time: float, seed: int):
+              rate_mbps: float, max_sim_time: float, idle_reprobe: bool, seed: int):
     """One transfer; ``orbit_period=None`` pins the relay at its start point.
 
     Returns (throughput Mbps, fraction of the file delivered) — the fraction
@@ -65,8 +65,10 @@ def _run_once(policy: AggregationPolicy, orbit_period: Optional[float],
     scenario.connect_chain(1, 2, 3)
 
     network = scenario.network
+    options = {"idle_reprobe": True} if idle_reprobe else None
     _, receiver = run_file_transfer_pair(network.node(1), network.node(3),
-                                         file_bytes=file_bytes)
+                                         file_bytes=file_bytes,
+                                         connection_options=options)
     sim.run(until=max_sim_time)
     fraction = min(receiver.bytes_received / file_bytes, 1.0)
     return receiver.throughput_mbps(transfer_start=0.0), fraction
@@ -76,8 +78,16 @@ def run(orbit_periods: Sequence[float] = DEFAULT_ORBIT_PERIODS_S,
         orbit_radius_m: float = 5.0, endpoint_gap_m: float = DEFAULT_ENDPOINT_GAP_M,
         file_bytes: int = 60_000, rate_mbps: float = 0.65,
         max_sim_time: float = 120.0, include_no_aggregation: bool = True,
-        include_stationary_baseline: bool = True, seed: int = 1) -> ExperimentResult:
-    """Sweep the relay's orbit period; report TCP throughput per policy."""
+        include_stationary_baseline: bool = True, tcp_idle_reprobe: bool = False,
+        seed: int = 1) -> ExperimentResult:
+    """Sweep the relay's orbit period; report TCP throughput per policy.
+
+    ``tcp_idle_reprobe=True`` enables the bounded idle re-probe mitigation
+    for the RTO/orbit phase-locking (off by default so the experiment's
+    published numbers are unchanged): after repeated RTOs the sender probes
+    the path every few seconds instead of riding the exponential backoff, so
+    the transfer resumes promptly once the relay returns.
+    """
     if any(period <= 0 for period in orbit_periods):
         raise ExperimentError("orbit periods must be positive")
     result = ExperimentResult(
@@ -95,7 +105,8 @@ def run(orbit_periods: Sequence[float] = DEFAULT_ORBIT_PERIODS_S,
             throughput, fraction = _run_once(
                 policy_factory(), orbit_period=period, orbit_radius_m=orbit_radius_m,
                 endpoint_gap_m=endpoint_gap_m, file_bytes=file_bytes,
-                rate_mbps=rate_mbps, max_sim_time=max_sim_time, seed=seed)
+                rate_mbps=rate_mbps, max_sim_time=max_sim_time,
+                idle_reprobe=tcp_idle_reprobe, seed=seed)
             series.add(period, throughput)
             progress.add(period, fraction)
             completed += 1 if throughput > 0 else 0
@@ -104,7 +115,8 @@ def run(orbit_periods: Sequence[float] = DEFAULT_ORBIT_PERIODS_S,
             baseline, _ = _run_once(
                 policy_factory(), orbit_period=None, orbit_radius_m=orbit_radius_m,
                 endpoint_gap_m=endpoint_gap_m, file_bytes=file_bytes,
-                rate_mbps=rate_mbps, max_sim_time=max_sim_time, seed=seed)
+                rate_mbps=rate_mbps, max_sim_time=max_sim_time,
+                idle_reprobe=tcp_idle_reprobe, seed=seed)
             result.add_metric(f"stationary_baseline_{label}", baseline)
 
     result.add_metric("relay_min_link_distance_m", endpoint_gap_m / 2.0)

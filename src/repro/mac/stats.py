@@ -16,6 +16,12 @@ from repro.phy.rates import PhyRate
 from repro.phy.timing import PhyTimingConfig
 from repro.sim.monitor import TimeSeriesMonitor
 
+#: IP protocol tags of routing control-plane traffic (HELLO beacons and DSDV
+#: updates).  Matched by string so this module needs no import of the network
+#: layer; keep in sync with :mod:`repro.net.discovery` /
+#: :mod:`repro.net.dynamic_routing`.
+ROUTING_CONTROL_PROTOCOLS = frozenset({"hello", "dsdv"})
+
 
 @dataclass
 class MacStatistics:
@@ -46,6 +52,14 @@ class MacStatistics:
     payload_bytes_sent: int = 0
     mac_overhead_bytes_sent: int = 0
     phy_header_bytes_equivalent: float = 0.0
+
+    # Routing control-plane accounting (HELLO + DSDV subframes this MAC
+    # transmitted).  Counted so goodput numbers stay honest: the bytes also
+    # appear in ``payload_bytes_sent``, these counters break out how much of
+    # that "payload" was control-plane overhead.
+    routing_subframes_sent: int = 0
+    routing_bytes_sent: int = 0
+    routing_airtime: float = 0.0
 
     # Airtime accounting (transmit side, exchanges this MAC initiated)
     payload_airtime: float = 0.0
@@ -94,6 +108,10 @@ class MacStatistics:
         self.mac_overhead_bytes_sent += overhead
         self.payload_airtime += rate.transmission_time(payload)
         self.header_airtime += rate.transmission_time(overhead)
+        if subframe.packet.ip.protocol in ROUTING_CONTROL_PROTOCOLS:
+            self.routing_subframes_sent += 1
+            self.routing_bytes_sent += payload
+            self.routing_airtime += rate.transmission_time(payload + overhead)
 
     def record_control_frame(self, kind: str, airtime: float) -> None:
         """Account for a control frame (sent or received as part of our exchange)."""
@@ -150,6 +168,17 @@ class MacStatistics:
         """Unicast plus broadcast subframes transmitted."""
         return self.unicast_subframes_sent + self.broadcast_subframes_sent
 
+    @property
+    def routing_overhead_fraction(self) -> float:
+        """Routing control-plane bytes as a fraction of all payload bytes sent.
+
+        Zero for scenarios without a dynamic control plane, so the paper's
+        static experiments report exactly what they always did.
+        """
+        if self.payload_bytes_sent <= 0:
+            return 0.0
+        return self.routing_bytes_sent / self.payload_bytes_sent
+
     def summary(self) -> dict:
         """Flat dictionary of the headline statistics (for reports/tests)."""
         return {
@@ -161,4 +190,6 @@ class MacStatistics:
             "retransmissions": self.retransmissions,
             "unicast_drops": self.unicast_drops,
             "queue_drops": self.queue_drops,
+            "routing_subframes_sent": self.routing_subframes_sent,
+            "routing_overhead": round(self.routing_overhead_fraction, 4),
         }

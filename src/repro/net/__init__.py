@@ -1,9 +1,22 @@
-"""Network layer: packet model, addressing, static routing and flooding."""
+"""Network layer: packets, addressing, static + dynamic routing, flooding.
+
+Static scenarios use :class:`RoutingTable` filled by the topology builders;
+mobile meshes swap in :class:`DynamicRoutingTable` maintained by a
+:class:`DsdvRouter` over :class:`NeighborDiscovery` HELLO beacons (see
+:mod:`repro.net.dynamic_routing` for the protocol rules).
+"""
 
 from repro.net.packet import IpHeader, Packet, TcpHeader, UdpHeader
 from repro.net.address import IpAddress
 from repro.net.routing import ForwardingEngine, RoutingTable, StaticRoute
 from repro.net.flooding import FloodingSource
+from repro.net.discovery import HelloConfig, NeighborDiscovery
+from repro.net.dynamic_routing import (
+    DsdvConfig,
+    DsdvRouter,
+    DynamicRoutingTable,
+    RouteEntry,
+)
 
 __all__ = [
     "Packet",
@@ -15,4 +28,10 @@ __all__ = [
     "StaticRoute",
     "ForwardingEngine",
     "FloodingSource",
+    "HelloConfig",
+    "NeighborDiscovery",
+    "DsdvConfig",
+    "DsdvRouter",
+    "DynamicRoutingTable",
+    "RouteEntry",
 ]

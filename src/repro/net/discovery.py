@@ -1,0 +1,262 @@
+"""HELLO-based neighbor discovery.
+
+The paper's testbed never needs to discover anything: every node is placed
+within radio range of every other node and routes are installed statically
+(Section 5).  The mobility subsystem broke that assumption — nodes drift out
+of range mid-run — so this module supplies the missing liveness primitive: a
+:class:`NeighborDiscovery` instance per node broadcasts small, periodically
+jittered HELLO beacons **through the real MAC**.  Beacons therefore contend
+for the medium, ride inside aggregated frames under the UA/BA policies, and
+are lost to collisions and fading exactly like data traffic; a neighbor whose
+beacons stop arriving is *expired* after a hold time and a link-down event is
+delivered to whoever registered for it (the DSDV control plane in
+:mod:`repro.net.dynamic_routing`).
+
+Design notes:
+
+* HELLOs are ordinary broadcast :class:`~repro.net.packet.Packet` objects with
+  IP protocol ``"hello"``; the :class:`~repro.net.routing.ForwardingEngine`
+  dispatches them to the handler this class registers, so no special-casing
+  exists anywhere in the forwarding path.
+* Beacon jitter and all other randomness come from a dedicated per-node
+  stream (``discovery.<name>``) derived from the simulator's root seed, so
+  attaching discovery never perturbs any other component's random sequence
+  and same-seed runs stay byte-identical.
+* Expiry is event-driven: a single timer is always armed for the earliest
+  possible expiry instant, so neighbor-down latency is bounded by the hold
+  time itself, not by any polling granularity.
+* Any received control packet can refresh liveness (:meth:`heard`): the DSDV
+  router calls it for routing updates, matching the common optimisation where
+  data-plane evidence of a link substitutes for a missed beacon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mac.addresses import MacAddress
+from repro.net.address import IpAddress
+from repro.net.packet import IpHeader, Packet
+from repro.net.routing import BROADCAST_IP
+from repro.sim.simulator import Simulator
+from repro.sim.timer import PeriodicTimer, Timer
+
+#: IP protocol tag carried by HELLO beacons.
+HELLO_PROTOCOL = "hello"
+
+
+@dataclass(frozen=True)
+class HelloConfig:
+    """Static configuration of one node's neighbor discovery."""
+
+    #: Nominal beacon interval in seconds.
+    hello_interval: float = 1.0
+    #: Each beacon period is multiplied by ``1 + uniform(-j, +j)`` so nodes
+    #: with the same nominal interval never phase-lock their beacons.
+    jitter_fraction: float = 0.1
+    #: A neighbor is expired after this many nominal intervals of silence
+    #: (3.5 tolerates two consecutive lost beacons plus jitter).
+    hold_intervals: float = 3.5
+    #: HELLO payload size in bytes (sender address + sequence + padding).
+    payload_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if self.hello_interval <= 0:
+            raise ConfigurationError("hello_interval must be positive")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+        if self.hold_intervals <= 1:
+            raise ConfigurationError("hold_intervals must exceed one interval")
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be non-negative")
+
+    @property
+    def hold_time(self) -> float:
+        """Silence (seconds) after which a neighbor is declared down."""
+        return self.hold_intervals * self.hello_interval
+
+
+@dataclass
+class NeighborEntry:
+    """Liveness record for one discovered neighbor."""
+
+    ip: IpAddress
+    first_heard: float
+    last_heard: float
+    hellos_heard: int = 0
+
+
+#: Callback signature for link events: ``callback(neighbor_ip)``.
+NeighborCallback = Callable[[IpAddress], None]
+
+
+def rejitter(timer: PeriodicTimer, base_period: float, rng,
+             jitter_fraction: float) -> None:
+    """Re-draw a periodic timer's next period around its nominal value.
+
+    Shared by HELLO beaconing and DSDV advertisements so both protocols
+    desynchronise identically: each period is ``base * (1 + uniform(-j, +j))``.
+    """
+    if jitter_fraction > 0:
+        timer.period = base_period * (1.0 + rng.uniform(-jitter_fraction,
+                                                        jitter_fraction))
+
+
+class NeighborDiscovery:
+    """Maintains the live neighbor set of one node via HELLO beacons."""
+
+    def __init__(self, sim: Simulator, network, config: Optional[HelloConfig] = None,
+                 name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config or HelloConfig()
+        self.address = IpAddress(network.address)
+        self.name = name or f"hello-{self.address}"
+        self._rng = sim.random.stream(f"discovery.{self.name}")
+        self._entries: Dict[IpAddress, NeighborEntry] = {}
+        self._up_callbacks: List[NeighborCallback] = []
+        self._down_callbacks: List[NeighborCallback] = []
+        self._stop_time: Optional[float] = None
+        self._stopped = False
+        self._beacon = PeriodicTimer(sim, self.config.hello_interval, self._emit,
+                                     priority=Simulator.PRIORITY_NET,
+                                     name=f"{self.name}.beacon")
+        self._expiry = Timer(sim, self._expire, priority=Simulator.PRIORITY_NET,
+                             name=f"{self.name}.expiry")
+        # statistics
+        self.hellos_sent = 0
+        self.hellos_received = 0
+        self.neighbor_up_events = 0
+        self.neighbor_down_events = 0
+        network.register_handler(HELLO_PROTOCOL, self._on_hello)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, stop_time: Optional[float] = None) -> None:
+        """Begin beaconing; the first HELLO is jittered to desynchronise nodes.
+
+        ``stop_time`` bounds beaconing (and expiry sweeps) so runs whose
+        traffic drains do not keep the event queue alive to the horizon.
+        """
+        self._stop_time = stop_time
+        self._stopped = False
+        self._beacon.start(self._rng.uniform(0.0, self.config.hello_interval))
+
+    def stop(self) -> None:
+        """Stop beaconing and liveness processing entirely.
+
+        Also makes :meth:`heard` inert: a packet already in flight when the
+        protocol stops must not re-arm the expiry timer, or link-down events
+        would keep firing (and the event queue stay alive) up to a hold time
+        past the stop.
+        """
+        self._stopped = True
+        self._beacon.stop()
+        self._expiry.cancel()
+
+    @property
+    def running(self) -> bool:
+        """True while beacons are being emitted."""
+        return self._beacon.running
+
+    # ------------------------------------------------------------------
+    # Event registration
+    # ------------------------------------------------------------------
+    def on_neighbor_up(self, callback: NeighborCallback) -> None:
+        """Register a callback fired when a new neighbor is first heard."""
+        self._up_callbacks.append(callback)
+
+    def on_neighbor_down(self, callback: NeighborCallback) -> None:
+        """Register a callback fired when a neighbor expires (link down)."""
+        self._down_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def neighbors(self) -> List[IpAddress]:
+        """Currently live neighbors, sorted for deterministic iteration."""
+        return sorted(self._entries)
+
+    def is_neighbor(self, ip: IpAddress) -> bool:
+        """True while ``ip`` is considered alive."""
+        return IpAddress(ip) in self._entries
+
+    def entry(self, ip: IpAddress) -> NeighborEntry:
+        """The liveness record for ``ip`` (KeyError when unknown)."""
+        return self._entries[IpAddress(ip)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Beacon emission
+    # ------------------------------------------------------------------
+    def _emit(self) -> None:
+        if self._stop_time is not None and self.sim.now > self._stop_time:
+            self.stop()
+            return
+        packet = Packet(
+            ip=IpHeader(src=self.address, dst=BROADCAST_IP,
+                        protocol=HELLO_PROTOCOL, ttl=1),
+            payload_bytes=self.config.payload_bytes, created_at=self.sim.now,
+            annotations={"hello_seq": self.hellos_sent})
+        self.hellos_sent += 1
+        self.network.send(packet)
+        rejitter(self._beacon, self.config.hello_interval, self._rng,
+                 self.config.jitter_fraction)
+
+    # ------------------------------------------------------------------
+    # Beacon reception and liveness
+    # ------------------------------------------------------------------
+    def _on_hello(self, packet: Packet, source_mac: MacAddress) -> None:
+        self.hellos_received += 1
+        self.heard(packet.ip.src)
+
+    def heard(self, ip: IpAddress) -> None:
+        """Refresh liveness for ``ip`` (beacon or any control-plane evidence)."""
+        if self._stopped:
+            return
+        ip = IpAddress(ip)
+        if ip == self.address:
+            return
+        entry = self._entries.get(ip)
+        if entry is None:
+            entry = NeighborEntry(ip=ip, first_heard=self.sim.now,
+                                  last_heard=self.sim.now, hellos_heard=1)
+            self._entries[ip] = entry
+            self.neighbor_up_events += 1
+            self.sim.tracer.emit(self.name, "discovery", "neighbor_up", ip=str(ip))
+            for callback in list(self._up_callbacks):
+                callback(ip)
+        else:
+            entry.last_heard = self.sim.now
+            entry.hellos_heard += 1
+        self._rearm_expiry()
+
+    def _rearm_expiry(self) -> None:
+        if not self._entries:
+            self._expiry.cancel()
+            return
+        earliest = min(entry.last_heard for entry in self._entries.values())
+        deadline = earliest + self.config.hold_time
+        self._expiry.start(max(0.0, deadline - self.sim.now))
+
+    def _expire(self) -> None:
+        now = self.sim.now
+        hold = self.config.hold_time
+        expired = sorted(ip for ip, entry in self._entries.items()
+                         if now - entry.last_heard >= hold - 1e-12)
+        for ip in expired:
+            del self._entries[ip]
+            self.neighbor_down_events += 1
+            self.sim.tracer.emit(self.name, "discovery", "neighbor_down", ip=str(ip))
+            for callback in list(self._down_callbacks):
+                callback(ip)
+        self._rearm_expiry()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NeighborDiscovery {self.name} neighbors={len(self._entries)}>"

@@ -7,7 +7,11 @@ protocol stack (here: the ``repro`` UDP/TCP implementations) on top.
 Beyond the paper's stationary testbed, a node may carry a
 :mod:`repro.mobility` model (:meth:`Node.set_mobility`); ``position`` then
 tracks the model's scheduler-driven updates and :meth:`Node.position_at`
-answers exactly for any time.
+answers exactly for any time.  With ``routing="dsdv"`` the node additionally
+runs the dynamic control plane (:mod:`repro.net.dynamic_routing`): its
+routing table is a :class:`~repro.net.dynamic_routing.DynamicRoutingTable`
+maintained by HELLO-based neighbor discovery and DSDV advertisements instead
+of statically installed routes.
 """
 
 from __future__ import annotations
@@ -16,11 +20,13 @@ from typing import Optional, Tuple
 
 from repro.channel.medium import WirelessChannel
 from repro.core.policies import AggregationPolicy, broadcast_aggregation
+from repro.errors import ConfigurationError
 from repro.mac.addresses import MacAddress
 from repro.mac.dcf import AggregatingMac, MacConfig
 from repro.net.address import IpAddress
+from repro.net.dynamic_routing import DsdvConfig, DsdvRouter, DynamicRoutingTable
 from repro.net.routing import ForwardingEngine, NeighborTable, RoutingTable
-from repro.node.hydra import HydraProfile, default_hydra_profile
+from repro.node.hydra import HydraProfile, default_dsdv_config, default_hydra_profile
 from repro.phy.device import Phy
 from repro.sim.simulator import Simulator
 from repro.transport.tcp.layer import TcpLayer
@@ -40,7 +46,12 @@ class Node:
         profile: Optional[HydraProfile] = None,
         neighbors: Optional[NeighborTable] = None,
         use_block_ack: bool = False,
+        routing: str = "static",
+        routing_config: Optional[DsdvConfig] = None,
     ) -> None:
+        if routing not in ("static", "dsdv"):
+            raise ConfigurationError(
+                f"unknown routing mode {routing!r} (expected 'static' or 'dsdv')")
         self.sim = sim
         self.channel = channel
         self.index = index
@@ -73,12 +84,22 @@ class Node:
                                   name=f"{self.name}.mac")
 
         # --- network layer ---------------------------------------------------
-        self.routing_table = RoutingTable()
+        self.routing_mode = routing
+        self.routing_table = (DynamicRoutingTable() if routing == "dsdv"
+                              else RoutingTable())
         self.neighbors = neighbors if neighbors is not None else NeighborTable()
         self.network = ForwardingEngine(sim, self.mac, self.ip,
                                         routing_table=self.routing_table,
                                         neighbors=self.neighbors,
                                         name=f"{self.name}.net")
+        # The DSDV control plane (None under static routing).  Construction
+        # wires packet handlers only; call :meth:`start_routing` (or let the
+        # scenario builder do it) to begin HELLOs and advertisements.
+        self.router: Optional[DsdvRouter] = None
+        if routing == "dsdv":
+            self.router = DsdvRouter(sim, self.network, self.routing_table,
+                                     config=routing_config or default_dsdv_config(),
+                                     name=f"{self.name}.dsdv")
 
         # --- transport layers ------------------------------------------------
         self.udp = UdpLayer(sim, self.network, self.ip)
@@ -120,6 +141,15 @@ class Node:
     def add_route(self, destination: IpAddress, next_hop: IpAddress) -> None:
         """Install a static route."""
         self.routing_table.add_route(destination, next_hop)
+
+    def start_routing(self, stop_time: float = None) -> None:
+        """Start the dynamic control plane (no-op under static routing).
+
+        ``stop_time`` bounds the protocol timers so runs whose traffic drains
+        do not keep the event queue alive to the horizon.
+        """
+        if self.router is not None:
+            self.router.start(stop_time=stop_time)
 
     def set_unicast_rate(self, rate_mbps: float) -> None:
         """Pin the unicast PHY rate of this node's MAC."""

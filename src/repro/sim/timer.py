@@ -93,6 +93,7 @@ class PeriodicTimer:
         self._period = period
         self._callback = callback
         self._timer = Timer(sim, self._tick, priority=priority, name=name)
+        self._stopped = False
         self.ticks = 0
 
     @property
@@ -114,16 +115,19 @@ class PeriodicTimer:
     def start(self, initial_delay: Optional[float] = None) -> None:
         """Start ticking; the first tick fires after ``initial_delay`` (default: one period)."""
         delay = self._period if initial_delay is None else initial_delay
+        self._stopped = False
         self._timer.start(delay)
 
     def stop(self) -> None:
-        """Stop ticking (idempotent)."""
+        """Stop ticking (idempotent, also honoured when called mid-callback)."""
+        self._stopped = True
         self._timer.cancel()
 
     def _tick(self) -> None:
         self.ticks += 1
         self._callback()
-        # The callback may have stopped the timer; only re-arm if it did not
-        # start it itself and we are still meant to be running.
-        if not self._timer.running:
+        # The callback may have stopped the timer (the flag, not the
+        # underlying one-shot, records that) or restarted it itself; only
+        # re-arm when neither happened.
+        if not self._stopped and not self._timer.running:
             self._timer.start(self._period)

@@ -8,8 +8,11 @@ from repro.stats.aggregate import (
     summarize,
     t_critical_95,
 )
+from repro.stats.svg import render_svg, write_svg
 
 __all__ = [
+    "render_svg",
+    "write_svg",
     "ExperimentResult",
     "Series",
     "TableResult",

@@ -24,6 +24,11 @@ Typical use::
 Nodes added without a model stay stationary at zero overhead (no update
 events, identical link-budget floats), which is what lets mobile scenarios
 coexist with bit-for-bit reproduction of the paper's stationary experiments.
+
+``routing="dsdv"`` swaps the statically installed routes for the dynamic
+control plane of :mod:`repro.net.dynamic_routing`: every node runs HELLO
+neighbor discovery plus DSDV advertisements (started automatically, bounded
+by ``stop_time``), and multi-hop paths repair themselves as nodes move.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.channel.propagation import PropagationModel
 from repro.core.policies import AggregationPolicy
 from repro.errors import ConfigurationError
 from repro.mobility.models import MobilityModel
+from repro.net.dynamic_routing import DsdvConfig
 from repro.node.hydra import HydraProfile, default_hydra_profile
 from repro.node.node import Node
 from repro.sim.simulator import Simulator
@@ -57,7 +63,12 @@ class MobileScenario:
                  broadcast_rate_mbps: Optional[float] = None,
                  use_block_ack: bool = False,
                  channel: Optional[WirelessChannel] = None,
-                 stop_time: Optional[float] = None) -> None:
+                 stop_time: Optional[float] = None,
+                 routing: str = "static",
+                 routing_config: Optional[DsdvConfig] = None) -> None:
+        if routing not in ("static", "dsdv"):
+            raise ConfigurationError(
+                f"unknown routing mode {routing!r} (expected 'static' or 'dsdv')")
         self.sim = sim
         self.policy = policy
         profile = profile or default_hydra_profile()
@@ -66,6 +77,8 @@ class MobileScenario:
         self.profile = profile
         self.use_block_ack = use_block_ack
         self.stop_time = stop_time
+        self.routing = routing
+        self.routing_config = routing_config
         if channel is not None and propagation is not None:
             raise ConfigurationError(
                 "pass either an existing channel or a propagation model, not "
@@ -87,11 +100,13 @@ class MobileScenario:
         node = Node(self.sim, self.channel, index=index, position=position,
                     policy=policy or self.policy, profile=self.profile,
                     neighbors=self.network.neighbors,
-                    use_block_ack=self.use_block_ack)
+                    use_block_ack=self.use_block_ack,
+                    routing=self.routing, routing_config=self.routing_config)
         self.network.add_node(node)
         self._next_index = max(self._next_index, index) + 1
         if model is not None:
             node.set_mobility(model, stop_time=self.stop_time)
+        node.start_routing(stop_time=self.stop_time)
         return node
 
     # ------------------------------------------------------------------
@@ -100,17 +115,26 @@ class MobileScenario:
     def connect_chain(self, *indices: int) -> None:
         """Install static chain routes along ``indices`` (in path order).
 
-        Mobile scenarios keep the paper's static-routing assumption: routes
+        Under ``routing="static"`` this keeps the paper's assumption: routes
         name the intended forwarding path, and mobility determines whether
-        each hop is currently usable.
+        each hop is currently usable.  Under ``routing="dsdv"`` routes are
+        discovered, so installing static ones is a configuration error.
         """
+        self._require_static("connect_chain")
         _install_chain_routes(self.network, list(indices))
 
     def connect_pair(self, a: int, b: int) -> None:
         """Install direct (single-hop) routes between two nodes."""
+        self._require_static("connect_pair")
         node_a, node_b = self.network.node(a), self.network.node(b)
         node_a.add_route(node_b.ip, node_b.ip)
         node_b.add_route(node_a.ip, node_a.ip)
+
+    def _require_static(self, operation: str) -> None:
+        if self.routing != "static":
+            raise ConfigurationError(
+                f"{operation}() installs static routes, but this scenario uses "
+                f"routing={self.routing!r}; DSDV discovers routes by itself")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -119,6 +143,12 @@ class MobileScenario:
     def mobile_nodes(self) -> Sequence[Node]:
         """Nodes that carry a mobility model."""
         return [node for node in self.network.nodes if node.mobility is not None]
+
+    @property
+    def routers(self) -> Sequence["object"]:
+        """The DSDV routers of all nodes (empty under static routing)."""
+        return [node.router for node in self.network.nodes
+                if node.router is not None]
 
     def run(self, until: Optional[float] = None) -> float:
         """Run the underlying simulator."""

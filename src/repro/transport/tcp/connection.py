@@ -54,6 +54,8 @@ class TcpConnection:
     def __init__(self, sim: Simulator, network, local_ip: IpAddress, local_port: int,
                  remote_ip: IpAddress, remote_port: int, mss: int = PAPER_MSS,
                  receive_window: int = DEFAULT_RECEIVE_WINDOW,
+                 idle_reprobe: bool = False, reprobe_after_timeouts: int = 3,
+                 reprobe_interval: float = 5.0,
                  name: Optional[str] = None) -> None:
         self.sim = sim
         self.network = network
@@ -63,6 +65,19 @@ class TcpConnection:
         self.remote_port = remote_port
         self.mss = mss
         self.receive_window = receive_window
+        # Persist-timer-style outage mitigation (off by default so the
+        # paper's experiments are unchanged): after ``reprobe_after_timeouts``
+        # consecutive RTOs the retransmission interval is capped at
+        # ``reprobe_interval`` instead of following the exponential backoff
+        # to its 60 s ceiling.  Without it, long outages (e.g. the orbiting
+        # relay of mob02) phase-lock with the backed-off RTO: end-to-end
+        # retries keep landing while the path is down and the connection can
+        # stall for a full backoff period after the path returns.
+        self.idle_reprobe = idle_reprobe
+        self.reprobe_after_timeouts = reprobe_after_timeouts
+        self.reprobe_interval = reprobe_interval
+        self._consecutive_timeouts = 0
+        self.reprobes_sent = 0
         self.name = name or f"tcp-{local_ip}:{local_port}"
 
         self.state = TcpState.CLOSED
@@ -242,12 +257,22 @@ class TcpConnection:
                                                                TcpState.SYN_RCVD):
             return
         self.timeouts += 1
+        self._consecutive_timeouts += 1
         self.cc.on_timeout(self.flight_size)
         self.rtt.on_timeout()
         self._dup_acks = 0
         self._timed_seq = None
         self._retransmit_head()
-        self._rto_timer.start(self.rtt.rto)
+        delay = self.rtt.rto
+        if (self.idle_reprobe
+                and self._consecutive_timeouts >= self.reprobe_after_timeouts
+                and delay > self.reprobe_interval):
+            # Bounded idle re-probe: keep poking the path at a fixed cadence
+            # instead of riding the exponential backoff, so recovery latency
+            # after an outage is bounded by ``reprobe_interval``.
+            delay = self.reprobe_interval
+            self.reprobes_sent += 1
+        self._rto_timer.start(delay)
 
     # ------------------------------------------------------------------
     # Segment reception
@@ -298,6 +323,7 @@ class TcpConnection:
             newly = ackno - self.snd_una
             self.snd_una = ackno
             self.rtt.reset_backoff()
+            self._consecutive_timeouts = 0
             self._complete_rtt_sample(ackno)
 
             if self.cc.in_fast_recovery:

@@ -49,8 +49,13 @@ class TcpLayer:
         self._listeners[port] = on_accept
 
     def connect(self, remote_ip: IpAddress, remote_port: int,
-                local_port: Optional[int] = None, mss: Optional[int] = None) -> TcpConnection:
-        """Open a connection to ``remote_ip:remote_port`` (active open)."""
+                local_port: Optional[int] = None, mss: Optional[int] = None,
+                **connection_options) -> TcpConnection:
+        """Open a connection to ``remote_ip:remote_port`` (active open).
+
+        Extra keyword arguments (e.g. ``idle_reprobe=True``) are passed to
+        the :class:`TcpConnection` constructor.
+        """
         if local_port is None:
             local_port = self._next_ephemeral_port()
         key = (local_port, IpAddress(remote_ip).value, remote_port)
@@ -59,7 +64,7 @@ class TcpLayer:
         connection = TcpConnection(
             sim=self.sim, network=self.network, local_ip=self.address, local_port=local_port,
             remote_ip=IpAddress(remote_ip), remote_port=remote_port,
-            mss=mss or self.default_mss,
+            mss=mss or self.default_mss, **connection_options,
         )
         self._connections[key] = connection
         connection.open_active()

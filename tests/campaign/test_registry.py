@@ -16,6 +16,8 @@ EXPECTED_IDS = {
     "table02", "table03", "table04", "table05_07", "table08",
     # Mobile-scenario experiments (beyond the paper's stationary setup).
     "mob01", "mob02",
+    # Dynamic-routing experiments (DSDV control plane, PR 4).
+    "mob03", "mob04", "rt01",
 }
 
 

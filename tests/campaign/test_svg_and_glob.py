@@ -1,0 +1,105 @@
+"""SVG plot export and run-all glob filtering."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.campaign.cli import _select_experiments, main
+from repro.stats.results import ExperimentResult, Series
+from repro.stats.svg import render_svg, write_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _sample_result(with_errors: bool = True) -> ExperimentResult:
+    result = ExperimentResult(experiment_id="demo", description="a demo figure")
+    for label, offset in (("NA", 0.0), ("BA <x&y>", 0.5)):
+        series = result.add_series(Series(label=label))
+        for i in range(4):
+            error = 0.1 * (i + 1) if with_errors else None
+            series.add(float(i), offset + i * 0.25, error)
+    return result
+
+
+class TestSvgRendering:
+    def test_output_is_valid_xml_with_one_polyline_per_series(self):
+        root = ElementTree.fromstring(render_svg(_sample_result()))
+        assert root.tag == f"{SVG_NS}svg"
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_error_bars_rendered_only_when_series_carry_them(self):
+        with_bars = ElementTree.fromstring(render_svg(_sample_result(True)))
+        without = ElementTree.fromstring(render_svg(_sample_result(False)))
+        bars = [line for line in with_bars.findall(f".//{SVG_NS}line")
+                if line.get("class") == "errorbar"]
+        assert len(bars) == 8  # 2 series x 4 points
+        assert not [line for line in without.findall(f".//{SVG_NS}line")
+                    if line.get("class") == "errorbar"]
+
+    def test_labels_are_escaped(self):
+        document = render_svg(_sample_result())
+        assert "BA &lt;x&amp;y&gt;" in document
+        ElementTree.fromstring(document)  # and it stays well-formed
+
+    def test_empty_result_renders_placeholder(self):
+        result = ExperimentResult(experiment_id="empty", description="no curves")
+        root = ElementTree.fromstring(render_svg(result))
+        texts = [t.text for t in root.findall(f".//{SVG_NS}text")]
+        assert "(no series)" in texts
+
+    def test_rendering_is_deterministic(self):
+        assert render_svg(_sample_result()) == render_svg(_sample_result())
+
+    def test_write_svg_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "plot.svg"
+        write_svg(_sample_result(), str(path))
+        ElementTree.parse(str(path))
+
+    def test_degenerate_single_point_series_does_not_crash(self):
+        result = ExperimentResult(experiment_id="one", description="one point")
+        result.add_series(Series(label="solo", x_values=[2.0], y_values=[5.0]))
+        ElementTree.fromstring(render_svg(result))
+
+
+class TestReportSvgCli:
+    def test_report_writes_svg_next_to_text_output(self, tmp_path, capsys):
+        import json
+
+        from repro.campaign.runner import CampaignRunner
+
+        outcome = CampaignRunner(jobs=1).run_campaign(
+            "fig07", seeds=[1],
+            overrides={"rates_mbps": (0.65,), "sizes_kb": (2, 3), "duration": 2.0})
+        results_path = tmp_path / "campaign_fig07.json"
+        with open(results_path, "w", encoding="utf-8") as handle:
+            json.dump(outcome.to_dict(), handle, default=repr)
+        svg_path = tmp_path / "fig07.svg"
+        exit_code = main(["report", str(results_path), "--svg", str(svg_path)])
+        assert exit_code == 0
+        ElementTree.parse(str(svg_path))
+        assert "SVG written" in capsys.readouterr().out
+
+
+class TestExperimentGlobs:
+    IDS = ("fig07", "fig09", "mob01", "mob03", "rt01", "table02")
+
+    def test_no_patterns_selects_everything(self):
+        assert _select_experiments(None, self.IDS) == list(self.IDS)
+        assert _select_experiments([], self.IDS) == list(self.IDS)
+
+    def test_single_glob(self):
+        assert _select_experiments(["mob*"], self.IDS) == ["mob01", "mob03"]
+
+    def test_comma_separated_and_repeated_patterns_deduplicate(self):
+        selected = _select_experiments(["mob*,rt*", "mob01"], self.IDS)
+        assert selected == ["mob01", "mob03", "rt01"]
+
+    def test_exact_id_is_a_valid_pattern(self):
+        assert _select_experiments(["table02"], self.IDS) == ["table02"]
+
+    def test_unmatched_pattern_is_an_error(self):
+        with pytest.raises(SystemExit, match="matches no experiment"):
+            _select_experiments(["nope*"], self.IDS)

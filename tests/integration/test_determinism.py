@@ -13,7 +13,13 @@ import pytest
 
 from repro.campaign.runner import CampaignRunner
 from repro.core.policies import broadcast_aggregation, unicast_aggregation
-from repro.experiments import mob01_flooding_mobility, mob02_tcp_handoff
+from repro.experiments import (
+    mob01_flooding_mobility,
+    mob02_tcp_handoff,
+    mob03_mesh_routing,
+    mob04_relay_failover,
+    rt01_control_overhead,
+)
 from repro.experiments.scenarios import (
     run_star_tcp,
     run_tcp_transfer,
@@ -30,6 +36,12 @@ TINY_MOB01 = {"speeds_mps": (3.0,), "node_count": 4, "duration": 1.5,
               "flooding_interval": 0.25}
 TINY_MOB02 = {"orbit_periods": (6.0,), "file_bytes": 15_000, "max_sim_time": 15.0,
               "include_no_aggregation": False, "include_stationary_baseline": False}
+TINY_MOB03 = {"speeds_mps": (3.0,), "grid_side": 2, "duration": 4.0, "warmup": 1.5,
+              "include_no_aggregation": False}
+TINY_MOB04 = {"orbit_periods": (10.0,), "duration": 12.0, "warmup": 1.5,
+              "cbr_interval": 0.1, "include_static_baseline": False}
+TINY_RT01 = {"hello_intervals_s": (0.5,), "duration": 4.0, "warmup": 1.5,
+             "include_no_aggregation": False}
 
 
 def _tcp_signature(seed: int) -> str:
@@ -61,10 +73,25 @@ def _mob02_signature(seed: int) -> str:
     return repr(mob02_tcp_handoff.run(**TINY_MOB02, seed=seed).to_dict())
 
 
+def _mob03_signature(seed: int) -> str:
+    return repr(mob03_mesh_routing.run(**TINY_MOB03, seed=seed).to_dict())
+
+
+def _mob04_signature(seed: int) -> str:
+    return repr(mob04_relay_failover.run(**TINY_MOB04, seed=seed).to_dict())
+
+
+def _rt01_signature(seed: int) -> str:
+    return repr(rt01_control_overhead.run(**TINY_RT01, seed=seed).to_dict())
+
+
 ALL_SIGNATURES = [_tcp_signature, _udp_signature, _star_signature,
-                  _mob01_signature, _mob02_signature]
+                  _mob01_signature, _mob02_signature, _mob03_signature,
+                  _mob04_signature, _rt01_signature]
 SIGNATURE_IDS = ["tcp_transfer", "udp_saturation", "star_tcp",
-                 "mob01_flooding_mobility", "mob02_tcp_handoff"]
+                 "mob01_flooding_mobility", "mob02_tcp_handoff",
+                 "mob03_mesh_routing", "mob04_relay_failover",
+                 "rt01_control_overhead"]
 
 
 @pytest.mark.parametrize("signature", ALL_SIGNATURES, ids=SIGNATURE_IDS)
@@ -77,13 +104,19 @@ def test_different_seeds_diverge(signature):
     assert signature(1) != signature(2)
 
 
-def test_mobile_campaign_across_pool_workers_matches_inline():
-    # Mobility draws (trajectories, shadowing) must replicate byte for byte
-    # in a fresh worker process, or the campaign cache would mix histories.
-    inline = CampaignRunner(jobs=1).run_campaign("mob01", seeds=[1, 2],
-                                                 overrides=TINY_MOB01)
-    pooled = CampaignRunner(jobs=2).run_campaign("mob01", seeds=[1, 2],
-                                                 overrides=TINY_MOB01)
+@pytest.mark.parametrize("experiment_id,overrides", [
+    ("mob01", TINY_MOB01),
+    ("mob04", TINY_MOB04),
+], ids=["mob01_mobility", "mob04_dynamic_routing"])
+def test_mobile_campaign_across_pool_workers_matches_inline(experiment_id, overrides):
+    # Mobility draws (trajectories, shadowing) and the routing control plane
+    # (HELLO jitter, advertisement jitter, expiry ordering) must replicate
+    # byte for byte in a fresh worker process, or the campaign cache would
+    # mix histories.
+    inline = CampaignRunner(jobs=1).run_campaign(experiment_id, seeds=[1, 2],
+                                                 overrides=overrides)
+    pooled = CampaignRunner(jobs=2).run_campaign(experiment_id, seeds=[1, 2],
+                                                 overrides=overrides)
     assert pooled.replicas[1].to_dict() == inline.replicas[1].to_dict()
     assert pooled.replicas[2].to_dict() == inline.replicas[2].to_dict()
     assert pooled.aggregate.to_dict() == inline.aggregate.to_dict()

@@ -1,0 +1,221 @@
+"""DSDV routing: table semantics, sequence-number rules, convergence, repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import broadcast_aggregation
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.address import IpAddress
+from repro.net.discovery import HelloConfig
+from repro.net.dynamic_routing import (
+    INFINITE_METRIC,
+    DsdvConfig,
+    DynamicRoutingTable,
+    RouteEntry,
+)
+from repro.sim.simulator import Simulator
+from repro.topology.mobile import MobileScenario
+
+A = IpAddress("10.0.0.1")
+B = IpAddress("10.0.0.2")
+C = IpAddress("10.0.0.3")
+
+FAST_DSDV = DsdvConfig(hello=HelloConfig(hello_interval=0.4),
+                       advertise_interval=1.2)
+
+
+def _entry(dest, via, metric=1, seq=0):
+    return RouteEntry(destination=IpAddress(dest), next_hop=IpAddress(via),
+                      metric=metric, sequence=seq)
+
+
+class TestDynamicRoutingTable:
+    def test_implements_the_static_interface(self):
+        table = DynamicRoutingTable()
+        table.add_route(B, C)
+        assert table.next_hop(B) == C
+        assert table.has_route(B)
+        assert not table.has_route(A)
+        assert len(table) == 1
+        assert table.routes == {B: C}
+
+    def test_missing_route_raises_routing_error(self):
+        with pytest.raises(RoutingError):
+            DynamicRoutingTable().next_hop(B)
+
+    def test_default_route_backstops_misses(self):
+        table = DynamicRoutingTable()
+        table.set_default(C)
+        assert table.next_hop(B) == C
+        assert table.has_route(B)
+
+    def test_withdrawn_route_behaves_like_no_route(self):
+        table = DynamicRoutingTable()
+        table.install(_entry(B, C, metric=INFINITE_METRIC, seq=3))
+        assert not table.has_route(B)
+        assert len(table) == 0
+        with pytest.raises(RoutingError):
+            table.next_hop(B)
+        # ... but the entry (and its break sequence number) is retained.
+        assert table.entry_for(B).sequence == 3
+
+    def test_protocol_entries_supersede_static_injections(self):
+        table = DynamicRoutingTable()
+        table.add_route(B, C)
+        assert table.entry_for(B).sequence < 0
+        table.install(_entry(B, A, metric=2, seq=0))
+        assert table.next_hop(B) == A
+
+    def test_entries_iterate_in_sorted_destination_order(self):
+        table = DynamicRoutingTable()
+        table.install(_entry(C, A))
+        table.install(_entry(B, A))
+        assert [e.destination for e in table.entries()] == [B, C]
+
+    def test_revision_counts_installs(self):
+        table = DynamicRoutingTable()
+        assert table.revision == 0
+        table.install(_entry(B, C))
+        table.install(_entry(C, B))
+        assert table.revision == 2
+
+
+def _chain_scenario(node_count=3, spacing=8.0, seed=1, duration=30.0,
+                    config=FAST_DSDV):
+    sim = Simulator(seed=seed)
+    scenario = MobileScenario(sim, policy=broadcast_aggregation(),
+                              stop_time=duration, routing="dsdv",
+                              routing_config=config)
+    for i in range(node_count):
+        scenario.add_node((i * spacing, 0.0))
+    return sim, scenario
+
+
+class TestDsdvProtocol:
+    def test_static_route_installers_are_rejected_under_dsdv(self):
+        sim, scenario = _chain_scenario()
+        with pytest.raises(ConfigurationError):
+            scenario.connect_chain(1, 2, 3)
+        with pytest.raises(ConfigurationError):
+            scenario.connect_pair(1, 2)
+
+    def test_unknown_routing_mode_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ConfigurationError):
+            MobileScenario(sim, policy=broadcast_aggregation(), routing="aodv")
+
+    def test_chain_converges_to_shortest_hop_count_routes(self):
+        sim, scenario = _chain_scenario(node_count=4, duration=12.0)
+        sim.run(until=12.0)
+        nodes = scenario.network.nodes
+        # End nodes see 3 destinations, each via their single physical neighbor.
+        first, last = nodes[0], nodes[-1]
+        assert len(first.routing_table) == 3
+        assert first.routing_table.next_hop(last.ip) == nodes[1].ip
+        assert first.router.table.entry_for(last.ip).metric == 3
+        # The middle nodes route each direction out of the matching interface.
+        middle = nodes[1]
+        assert middle.routing_table.next_hop(first.ip) == first.ip
+        assert middle.routing_table.next_hop(last.ip) == nodes[2].ip
+
+    def test_own_destination_never_enters_the_table(self):
+        sim, scenario = _chain_scenario(duration=10.0)
+        sim.run(until=10.0)
+        for node in scenario.network.nodes:
+            assert node.router.table.entry_for(node.ip) is None
+
+    def test_forwarding_works_end_to_end_over_discovered_routes(self):
+        from repro.apps.cbr import CbrSource, UdpSink
+
+        sim, scenario = _chain_scenario(node_count=3, duration=12.0)
+        network = scenario.network
+        sink = UdpSink(network.node(3))
+        source = CbrSource(network.node(1), network.node(3).ip,
+                           interval=0.1, payload_bytes=200)
+        source.start(4.0)  # after convergence
+        sim.run(until=12.0)
+        assert sink.packets_received > 0
+        assert sink.packets_received >= source.packets_sent * 0.9
+
+    def test_control_plane_counted_in_mac_stats(self):
+        sim, scenario = _chain_scenario(duration=8.0)
+        sim.run(until=8.0)
+        stats = scenario.network.node(2).mac_stats
+        assert stats.routing_subframes_sent > 0
+        assert 0.0 < stats.routing_overhead_fraction <= 1.0
+        assert stats.routing_bytes_sent <= stats.payload_bytes_sent
+
+    def test_sequence_numbers_advertised_are_even(self):
+        sim, scenario = _chain_scenario(duration=10.0)
+        sim.run(until=10.0)
+        # Every adopted route's sequence number originated at the destination
+        # as an even number; no link ever broke in this static chain.
+        for node in scenario.network.nodes:
+            for entry in node.router.table.valid_entries():
+                assert entry.sequence % 2 == 0
+                assert entry.sequence >= 0
+
+    def test_link_break_marks_routes_with_odd_sequence_and_infinite_metric(self):
+        sim, scenario = _chain_scenario(node_count=3, duration=40.0)
+        sim.run(until=6.0)
+        first = scenario.network.node(1)
+        last = scenario.network.node(3)
+        assert first.routing_table.has_route(last.ip)
+        # Carry the middle relay out of range; nothing else connects 1 and 3.
+        scenario.network.node(2).position = (100.0, 100.0)
+        sim.run(until=6.0 + 4 * FAST_DSDV.hello.hold_time)
+        entry = first.router.table.entry_for(scenario.network.node(2).ip)
+        assert entry is not None and not entry.valid
+        assert entry.metric == INFINITE_METRIC
+        assert entry.sequence % 2 == 1
+        assert not first.routing_table.has_route(last.ip)
+        assert first.router.route_breaks > 0
+
+    def test_route_repairs_after_relay_returns(self):
+        sim, scenario = _chain_scenario(node_count=3, duration=60.0)
+        relay = scenario.network.node(2)
+        origin = relay.position
+        sim.run(until=6.0)
+        relay.position = (100.0, 100.0)
+        sim.run(until=6.0 + 4 * FAST_DSDV.hello.hold_time)
+        first = scenario.network.node(1)
+        last = scenario.network.node(3)
+        assert not first.routing_table.has_route(last.ip)
+        relay.position = origin
+        sim.run(until=sim.now + 6 * FAST_DSDV.advertise_interval)
+        assert first.routing_table.has_route(last.ip)
+        assert first.router.repair_latencies(last.ip)
+
+    def test_summary_is_flat(self):
+        sim, scenario = _chain_scenario(duration=6.0)
+        sim.run(until=6.0)
+        summary = scenario.network.node(1).router.summary()
+        assert summary["updates_sent"] > 0
+        assert summary["valid_routes"] == 2
+        assert summary["neighbors"] == 1
+
+    def test_same_seed_runs_are_identical_different_seeds_diverge(self):
+        def signature(seed):
+            sim, scenario = _chain_scenario(node_count=4, seed=seed, duration=10.0)
+            sim.run(until=10.0)
+            return repr([
+                (node.router.summary(),
+                 [str(e) for e in node.router.table.entries()])
+                for node in scenario.network.nodes
+            ]) + f"|{sim.events_processed}"
+
+        assert signature(1) == signature(1)
+        assert signature(1) != signature(2)
+
+
+class TestDsdvConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"advertise_interval": 0.0},
+        {"jitter_fraction": 1.0},
+        {"triggered_delay": -0.1},
+        {"entry_bytes": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DsdvConfig(**kwargs)
