@@ -27,12 +27,15 @@ pass ``--full`` for the paper-scale sweep)::
     $ python -m repro.campaign run fig09 --seeds 5 --jobs 4
 
 or sweep every registered experiment (the mobile/routing experiments
-``mob01`` … ``mob04`` and ``rt01`` included) at smoke scale — optionally
-filtered by shell-style globs so CI can smoke the mobile+routing scenarios
-separately from the paper figures::
+``mob01`` … ``mob04``, ``rt01`` and ``rt02`` included) at smoke scale —
+optionally filtered by shell-style globs so CI can smoke the mobile+routing
+scenarios separately from the paper figures::
 
     $ python -m repro.campaign run-all --seeds 1 --jobs 4
     $ python -m repro.campaign run-all --seeds 1 --jobs 4 --experiments 'mob*,rt*'
+
+(``rt02`` is the DSDV-vs-AODV-vs-static overhead-scaling comparison; see the
+README for how to read its ``routing_overhead_fraction`` series.)
 
 The run prints the aggregated figure (mean y-values; 95% CI half-widths are
 stored in each series' ``y_errors``) and writes ``campaign_fig09.json`` with

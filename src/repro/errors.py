@@ -13,8 +13,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
-class ConfigurationError(ReproError):
-    """A component was configured with inconsistent or invalid parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """A component was configured with inconsistent or invalid parameters.
+
+    Also a :class:`ValueError`: an invalid parameter value is exactly what the
+    built-in means, so callers outside the library can catch the idiomatic
+    exception without importing the ``repro`` hierarchy.
+    """
 
 
 class SimulationError(ReproError):

@@ -39,7 +39,7 @@ from repro.net.discovery import HelloConfig
 from repro.net.dynamic_routing import DsdvConfig
 from repro.sim.simulator import Simulator
 from repro.stats.results import ExperimentResult, Series
-from repro.topology.mobile import MobileScenario
+from repro.topology.mobile import MobileScenario, populate_grid
 
 DEFAULT_SPEEDS_MPS = (1.0, 3.0, 6.0)
 
@@ -64,23 +64,18 @@ def _run_once(policy: AggregationPolicy, speed: float, grid_side: int,
 
     # Corner nodes (source and destination) stay pinned; every interior node
     # roams the grid's bounding box under random waypoint.
-    extent = (grid_side - 1) * grid_spacing_m
-    area = (0.0, 0.0, extent, extent)
-    corner_indices = []
-    for row in range(grid_side):
-        for col in range(grid_side):
-            position = (col * grid_spacing_m, row * grid_spacing_m)
-            is_corner = (row, col) in ((0, 0), (grid_side - 1, grid_side - 1))
-            model = None
-            if not is_corner and speed > 0:
-                model = RandomWaypoint(area=area, speed_range=(speed, speed))
-            node = scenario.add_node(position, model)
-            if is_corner:
-                corner_indices.append(node.index)
+    corners = ((0, 0), (grid_side - 1, grid_side - 1))
+
+    def model_factory(row, col, area):
+        if (row, col) in corners or speed <= 0:
+            return None
+        return RandomWaypoint(area=area, speed_range=(speed, speed))
+
+    nodes = populate_grid(scenario, grid_side, grid_spacing_m, model_factory)
 
     network = scenario.network
-    source_node = network.node(corner_indices[0])
-    sink_node = network.node(corner_indices[1])
+    source_node = nodes[0]       # corner (0, 0)
+    sink_node = nodes[-1]        # corner (grid_side - 1, grid_side - 1)
     sink = UdpSink(sink_node)
     source = CbrSource(source_node, sink_node.ip, interval=cbr_interval,
                        payload_bytes=cbr_payload_bytes)

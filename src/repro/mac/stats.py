@@ -16,11 +16,12 @@ from repro.phy.rates import PhyRate
 from repro.phy.timing import PhyTimingConfig
 from repro.sim.monitor import TimeSeriesMonitor
 
-#: IP protocol tags of routing control-plane traffic (HELLO beacons and DSDV
-#: updates).  Matched by string so this module needs no import of the network
-#: layer; keep in sync with :mod:`repro.net.discovery` /
-#: :mod:`repro.net.dynamic_routing`.
-ROUTING_CONTROL_PROTOCOLS = frozenset({"hello", "dsdv"})
+#: IP protocol tags of routing control-plane traffic (HELLO beacons, DSDV
+#: updates and AODV RREQ/RREP/RERR messages).  Matched by string so this
+#: module needs no import of the network layer; keep in sync with
+#: :mod:`repro.net.discovery` / :mod:`repro.net.dynamic_routing` /
+#: :mod:`repro.net.on_demand`.
+ROUTING_CONTROL_PROTOCOLS = frozenset({"hello", "dsdv", "aodv"})
 
 
 @dataclass

@@ -1,9 +1,12 @@
 """Network layer: packets, addressing, static + dynamic routing, flooding.
 
 Static scenarios use :class:`RoutingTable` filled by the topology builders;
-mobile meshes swap in :class:`DynamicRoutingTable` maintained by a
-:class:`DsdvRouter` over :class:`NeighborDiscovery` HELLO beacons (see
-:mod:`repro.net.dynamic_routing` for the protocol rules).
+mobile meshes swap in :class:`DynamicRoutingTable` maintained either
+proactively by a :class:`DsdvRouter` (periodic sequence-numbered
+advertisements, see :mod:`repro.net.dynamic_routing`) or reactively by an
+:class:`AodvRouter` (on-demand RREQ/RREP discovery, see
+:mod:`repro.net.on_demand`), both over :class:`NeighborDiscovery` HELLO
+beacons.
 """
 
 from repro.net.packet import IpHeader, Packet, TcpHeader, UdpHeader
@@ -17,6 +20,7 @@ from repro.net.dynamic_routing import (
     DynamicRoutingTable,
     RouteEntry,
 )
+from repro.net.on_demand import AodvConfig, AodvRouter
 
 __all__ = [
     "Packet",
@@ -34,4 +38,6 @@ __all__ = [
     "DsdvRouter",
     "DynamicRoutingTable",
     "RouteEntry",
+    "AodvConfig",
+    "AodvRouter",
 ]

@@ -1,0 +1,673 @@
+"""AODV-style on-demand (reactive) routing.
+
+The DSDV control plane (:mod:`repro.net.dynamic_routing`) pays a fixed,
+always-on beacon cost that is independent of how much of the mesh actually
+carries traffic.  This module adds the classic counterpoint: an **Ad hoc
+On-demand Distance Vector** router in the style of Perkins, Belding-Royer &
+Das that spends control bytes only when a route is actually requested — the
+proactive/reactive trade-off the ``rt02`` experiment measures.
+
+Protocol rules (the loop-freedom invariant)
+-------------------------------------------
+
+* **Route discovery.**  When a packet has no route, the origin buffers it and
+  floods a *route request* (RREQ) carrying a per-origin request id, the
+  origin's own monotone sequence number and the freshest *destination
+  sequence number* it knows.  Relays suppress duplicates by ``(origin,
+  request id)``, install a *reverse route* towards the origin via the node
+  they heard the RREQ from, and rebroadcast with the TTL decremented after a
+  small seeded jitter.  Discovery uses an **expanding ring**: the first RREQ
+  carries a small TTL, and each timeout retries with a larger ring until the
+  configured network-diameter TTL has been retried ``rreq_retries`` times —
+  only then is the destination declared unreachable and the buffered packets
+  dropped (the same :class:`~repro.errors.RoutingError` surface a missing
+  static route has).
+* **Route reply.**  Only the destination answers (the RFC 3561
+  "destination-only" flag): it bumps its own sequence number past the
+  requested one and unicasts a *route reply* (RREP) hop by hop along the
+  reverse routes.  Every node forwarding the RREP installs the *forward
+  route* to the destination.  Routes are adopted iff the carried destination
+  sequence number is **newer**, or **equal with a strictly smaller hop
+  count** — the same rule that makes DSDV loop-free: metrics only grow along
+  a path while sequence numbers are pinned by the destination, so preferring
+  older-or-equal information with a larger metric is excluded.
+* **Route maintenance.**  Active routes carry a lifetime refreshed by every
+  data packet they forward; an expired route is invalidated (infinite metric,
+  sequence number bumped) exactly like a withdrawn DSDV route.  A link break
+  — delivered by the existing :class:`~repro.net.discovery.NeighborDiscovery`
+  HELLO liveness — invalidates all routes over the broken link and broadcasts
+  a *route error* (RERR) listing the lost destinations with their bumped
+  sequence numbers; upstream nodes that were routing through the sender
+  invalidate in turn and propagate their own RERR.
+
+Implementation notes:
+
+* Routes live in the same :class:`~repro.net.dynamic_routing.DynamicRoutingTable`
+  DSDV uses, so the :class:`~repro.net.routing.ForwardingEngine`, TCP, UDP
+  and flooding run unmodified; the on-demand trigger is the forwarding
+  engine's *no-route handler* hook (a packet that would have been a
+  ``no_route_drop`` is buffered here instead while discovery runs).
+* All control messages (IP protocol ``"aodv"``) travel through the real MAC:
+  they contend, aggregate under the UA/BA policies, are lost like data, and
+  are broken out in ``mac.stats`` (``routing_*`` counters) so goodput numbers
+  stay honest.
+* All jitter comes from a per-node stream (``aodv.<name>``) derived from the
+  simulator's root seed; table iteration, pending-request and expiry
+  processing are in sorted order; the protocol is therefore byte-deterministic
+  per seed, in-process and across campaign pool workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mac.addresses import MacAddress
+from repro.net.address import IpAddress
+from repro.net.discovery import HelloConfig, NeighborDiscovery
+from repro.net.dynamic_routing import (
+    INFINITE_METRIC,
+    DynamicRoutingTable,
+    RouteEntry,
+)
+from repro.net.packet import IpHeader, Packet
+from repro.net.routing import BROADCAST_IP
+from repro.sim.simulator import Simulator
+from repro.sim.timer import Timer
+
+#: IP protocol tag carried by AODV control messages (RREQ/RREP/RERR).
+AODV_PROTOCOL = "aodv"
+
+#: Sequence number meaning "origin knows no destination sequence number yet".
+UNKNOWN_SEQUENCE = -1
+
+
+def _is_data(packet: Packet) -> bool:
+    """True for real buffered traffic (not a :meth:`AodvRouter.discover` probe)."""
+    return not packet.annotations.get("aodv_probe", False)
+
+
+@dataclass(frozen=True)
+class AodvConfig:
+    """Static configuration of one AODV router."""
+
+    #: Neighbor discovery (HELLO) parameters — link-break detection only;
+    #: AODV never advertises routes proactively.
+    hello: HelloConfig = HelloConfig()
+    #: Seconds an installed route stays valid without forwarding data.
+    active_route_lifetime: float = 6.0
+    #: Expanding-ring search: TTL of the first RREQ, the increment applied on
+    #: every timeout, and the network-diameter ceiling.
+    ring_start_ttl: int = 2
+    ring_ttl_increment: int = 2
+    ring_max_ttl: int = 7
+    #: Extra attempts at the diameter TTL before the destination is declared
+    #: unreachable (RFC 3561's RREQ_RETRIES).
+    rreq_retries: int = 2
+    #: Seconds waited for a RREP per unit of RREQ TTL (the ring traversal
+    #: time: one TTL unit of flooding out plus the reply back).
+    ring_timeout_per_ttl: float = 0.2
+    #: RREQ rebroadcasts are delayed by ``uniform(0, j)`` seconds so relays
+    #: hearing the same flood do not retransmit in lockstep.
+    rebroadcast_jitter: float = 0.02
+    #: Data packets buffered per destination while discovery runs; the oldest
+    #: packet is dropped when a new one would exceed the bound.
+    buffer_packets: int = 32
+    #: Seconds a seen (origin, request id) pair is remembered for duplicate
+    #: suppression (RFC 3561's PATH_DISCOVERY_TIME).  Request ids are never
+    #: reused, so pruning only bounds memory — it cannot re-admit a flood.
+    path_discovery_time: float = 10.0
+    #: Wire-size model of the control messages (payload bytes on top of the
+    #: IP header the packet model already accounts).
+    rreq_bytes: int = 24
+    rrep_bytes: int = 20
+    rerr_header_bytes: int = 8
+    rerr_entry_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.active_route_lifetime <= 0:
+            raise ConfigurationError("active_route_lifetime must be positive")
+        if self.ring_start_ttl < 1:
+            raise ConfigurationError("ring_start_ttl must be at least 1")
+        if self.ring_ttl_increment < 1:
+            raise ConfigurationError("ring_ttl_increment must be at least 1")
+        if self.ring_max_ttl < self.ring_start_ttl:
+            raise ConfigurationError(
+                "ring_max_ttl must be at least ring_start_ttl")
+        if self.rreq_retries < 0:
+            raise ConfigurationError("rreq_retries must be non-negative")
+        if self.ring_timeout_per_ttl <= 0:
+            raise ConfigurationError("ring_timeout_per_ttl must be positive")
+        if self.rebroadcast_jitter < 0:
+            raise ConfigurationError("rebroadcast_jitter must be non-negative")
+        if self.buffer_packets < 1:
+            raise ConfigurationError("buffer_packets must be at least 1")
+        if self.path_discovery_time <= 0:
+            raise ConfigurationError("path_discovery_time must be positive")
+        if min(self.rreq_bytes, self.rrep_bytes, self.rerr_header_bytes) < 0 \
+                or self.rerr_entry_bytes <= 0:
+            raise ConfigurationError("control message size model is invalid")
+
+
+@dataclass
+class RouteRequestState:
+    """One in-flight expanding-ring discovery at the origin."""
+
+    destination: IpAddress
+    ttl: int
+    attempts: int = 0
+    attempts_at_max: int = 0
+    buffered: List[Packet] = field(default_factory=list)
+    timer: Optional[Timer] = None
+
+
+class AodvRouter:
+    """The AODV control plane of one node.
+
+    Owns the node's :class:`DynamicRoutingTable` and
+    :class:`~repro.net.discovery.NeighborDiscovery`, reacts to no-route
+    events from the forwarding engine with expanding-ring route discovery,
+    and maintains active-route lifetimes from forwarded data.
+    """
+
+    def __init__(self, sim: Simulator, network, table: DynamicRoutingTable,
+                 config: Optional[AodvConfig] = None,
+                 discovery: Optional[NeighborDiscovery] = None,
+                 name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.table = table
+        self.config = config or AodvConfig()
+        self.address = IpAddress(network.address)
+        self.name = name or f"aodv-{self.address}"
+        self.discovery = discovery or NeighborDiscovery(
+            sim, network, config=self.config.hello, name=f"{self.name}.hello")
+        self.discovery.on_neighbor_down(self._on_neighbor_down)
+        self._rng = sim.random.stream(f"aodv.{self.name}")
+        self._own_sequence = 0
+        self._rreq_id = 0
+        self._stop_time: Optional[float] = None
+        self._stopped = True
+        #: Duplicate suppression: (origin value, request id) → time first seen.
+        self._seen_requests: Dict[Tuple[int, int], float] = {}
+        #: In-flight discoveries keyed by destination.
+        self._pending: Dict[IpAddress, RouteRequestState] = {}
+        #: Active-route expiry instants keyed by destination.
+        self._expires: Dict[IpAddress, float] = {}
+        self._expiry_timer = Timer(sim, self._on_expiry,
+                                   priority=Simulator.PRIORITY_NET,
+                                   name=f"{self.name}.expiry")
+        #: Route lifecycle log: (time, destination, event) with event one of
+        #: ``"installed"``, ``"restored"``, ``"broken"`` or ``"expired"``.
+        self.route_log: List[Tuple[float, IpAddress, str]] = []
+        # statistics
+        self.rreqs_sent = 0
+        self.rreqs_forwarded = 0
+        self.rreps_sent = 0
+        self.rreps_forwarded = 0
+        self.rerrs_sent = 0
+        self.rerrs_received = 0
+        self.duplicate_rreqs_ignored = 0
+        self.discoveries_started = 0
+        self.discoveries_completed = 0
+        self.discoveries_failed = 0
+        self.buffered_packets_dropped = 0
+        self.route_changes = 0
+        self.route_breaks = 0
+        self.route_expirations = 0
+        network.register_handler(AODV_PROTOCOL, self._on_control)
+        network.set_no_route_handler(self._on_no_route)
+        network.set_forward_observer(self._on_data_forwarded)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, stop_time: Optional[float] = None) -> None:
+        """Start HELLO liveness; discovery itself is demand-driven."""
+        self._stop_time = stop_time
+        self._stopped = False
+        self.discovery.start(stop_time=stop_time)
+        # Lifetimes recorded before a stop()/start() cycle must still expire.
+        self._rearm_expiry()
+
+    def stop(self) -> None:
+        """Stop all protocol activity and drop any buffered packets."""
+        self._stopped = True
+        self.discovery.stop()
+        self._expiry_timer.cancel()
+        for destination in sorted(self._pending):
+            state = self._pending[destination]
+            if state.timer is not None:
+                state.timer.cancel()
+            self.buffered_packets_dropped += sum(
+                1 for packet in state.buffered if _is_data(packet))
+        self._pending.clear()
+
+    @property
+    def running(self) -> bool:
+        """True while the control plane reacts to traffic and link events."""
+        return not self._stopped
+
+    def _past_stop(self) -> bool:
+        return (self._stopped
+                or (self._stop_time is not None and self.sim.now > self._stop_time))
+
+    # ------------------------------------------------------------------
+    # On-demand trigger (forwarding-engine no-route hook)
+    # ------------------------------------------------------------------
+    def _on_no_route(self, packet: Packet) -> bool:
+        """Buffer a routeless data packet and start/continue discovery."""
+        if self._past_stop():
+            return False
+        if packet.ip.protocol == AODV_PROTOCOL:
+            return False  # never discover routes for our own control traffic
+        destination = IpAddress(packet.ip.dst)
+        state = self._pending.get(destination)
+        if state is None:
+            state = RouteRequestState(destination=destination,
+                                      ttl=self.config.ring_start_ttl)
+            state.timer = Timer(self.sim,
+                                lambda: self._on_ring_timeout(destination),
+                                priority=Simulator.PRIORITY_NET,
+                                name=f"{self.name}.ring.{destination}")
+            self._pending[destination] = state
+            self.discoveries_started += 1
+            state.buffered.append(packet)
+            self._send_rreq(state)
+        else:
+            if len(state.buffered) >= self.config.buffer_packets:
+                state.buffered.pop(0)
+                self.buffered_packets_dropped += 1
+            state.buffered.append(packet)
+        return True
+
+    def discover(self, destination: IpAddress) -> None:
+        """Start a discovery for ``destination`` without offering a packet.
+
+        Useful for demand-driven warm-up in tests and experiments; a no-op
+        when a route already exists or a discovery is already pending.
+        """
+        destination = IpAddress(destination)
+        if self._past_stop() or destination in self._pending:
+            return
+        if self.table.has_route(destination):
+            return
+        # The probe exists only to enter the request buffer; the annotation
+        # keeps it out of the data plane (never re-injected, never counted
+        # as a dropped data packet).
+        probe = Packet(ip=IpHeader(src=self.address, dst=destination,
+                                   protocol="raw"),
+                       payload_bytes=0, created_at=self.sim.now,
+                       annotations={"aodv_probe": True})
+        self._on_no_route(probe)
+
+    # ------------------------------------------------------------------
+    # RREQ origination and the expanding ring
+    # ------------------------------------------------------------------
+    def _send_rreq(self, state: RouteRequestState) -> None:
+        self._own_sequence += 1
+        self._rreq_id += 1
+        known = self.table.entry_for(state.destination)
+        destination_sequence = known.sequence if known is not None else UNKNOWN_SEQUENCE
+        self._record_request((self.address.value, self._rreq_id))
+        packet = Packet(
+            ip=IpHeader(src=self.address, dst=BROADCAST_IP,
+                        protocol=AODV_PROTOCOL, ttl=state.ttl),
+            payload_bytes=self.config.rreq_bytes, created_at=self.sim.now,
+            annotations={
+                "aodv_type": "rreq",
+                "aodv_rreq_id": self._rreq_id,
+                "aodv_origin": self.address.value,
+                "aodv_origin_seq": self._own_sequence,
+                "aodv_dest": state.destination.value,
+                "aodv_dest_seq": destination_sequence,
+                "aodv_hops": 0,
+            })
+        self.rreqs_sent += 1
+        state.attempts += 1
+        if state.ttl >= self.config.ring_max_ttl:
+            state.attempts_at_max += 1
+        self.sim.tracer.emit(self.name, "aodv", "rreq_tx",
+                             dest=str(state.destination), ttl=state.ttl,
+                             attempt=state.attempts)
+        self.network.send(packet)
+        state.timer.start(self.config.ring_timeout_per_ttl * state.ttl)
+
+    def _on_ring_timeout(self, destination: IpAddress) -> None:
+        state = self._pending.get(destination)
+        if state is None:
+            return
+        if self._past_stop():
+            self._fail_discovery(state)
+            return
+        if state.ttl < self.config.ring_max_ttl:
+            state.ttl = min(state.ttl + self.config.ring_ttl_increment,
+                            self.config.ring_max_ttl)
+        elif state.attempts_at_max > self.config.rreq_retries:
+            self._fail_discovery(state)
+            return
+        self._send_rreq(state)
+
+    def _fail_discovery(self, state: RouteRequestState) -> None:
+        """Expanding-ring search exhausted: the destination is unreachable."""
+        if state.timer is not None:
+            state.timer.cancel()
+        self._pending.pop(state.destination, None)
+        self.discoveries_failed += 1
+        dropped = sum(1 for packet in state.buffered if _is_data(packet))
+        self.buffered_packets_dropped += dropped
+        self.sim.tracer.emit(self.name, "aodv", "discovery_failed",
+                             dest=str(state.destination), dropped=dropped)
+        state.buffered.clear()
+
+    def _complete_discovery(self, destination: IpAddress) -> None:
+        state = self._pending.pop(destination, None)
+        if state is None:
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        self.discoveries_completed += 1
+        self.sim.tracer.emit(self.name, "aodv", "discovery_complete",
+                             dest=str(destination), flushed=len(state.buffered))
+        for packet in state.buffered:
+            if _is_data(packet):  # warm-up probes never enter the data plane
+                self.network.reinject(packet)
+        state.buffered.clear()
+
+    # ------------------------------------------------------------------
+    # Control-message reception
+    # ------------------------------------------------------------------
+    def _on_control(self, packet: Packet, source_mac: MacAddress) -> None:
+        if self._stopped:
+            return
+        sender = IpAddress(packet.ip.src)
+        if sender == self.address:  # pragma: no cover - broadcasts never loop back
+            return
+        # Any control packet is proof the link to the sender works.
+        self.discovery.heard(sender)
+        kind = packet.annotations.get("aodv_type")
+        if kind == "rreq":
+            self._on_rreq(packet, sender)
+        elif kind == "rrep":
+            self._on_rrep(packet, sender)
+        elif kind == "rerr":
+            self._on_rerr(packet, sender)
+
+    # -- RREQ ----------------------------------------------------------
+    def _on_rreq(self, packet: Packet, sender: IpAddress) -> None:
+        origin = IpAddress(packet.annotations["aodv_origin"])
+        request_key = (origin.value, packet.annotations["aodv_rreq_id"])
+        self._touch_neighbor_route(sender)
+        if origin == self.address:
+            return  # a relay rebroadcast our own flood back at us
+        if request_key in self._seen_requests:
+            self.duplicate_rreqs_ignored += 1
+            return
+        self._record_request(request_key)
+        hops = packet.annotations["aodv_hops"] + 1
+        # Reverse route towards the origin, via whoever relayed the RREQ.
+        self._consider(origin, sender,
+                       sequence=packet.annotations["aodv_origin_seq"],
+                       metric=hops)
+        destination = IpAddress(packet.annotations["aodv_dest"])
+        if destination == self.address:
+            # Destination-only replies: bump our sequence number past the
+            # freshest value the origin asked about, so the reply supersedes
+            # every stale entry (including odd break markers) along the path.
+            self._own_sequence = max(self._own_sequence,
+                                     packet.annotations["aodv_dest_seq"]) + 1
+            self._send_rrep(next_hop=sender, origin=origin,
+                            destination_sequence=self._own_sequence, hops=0)
+            return
+        ttl_remaining = packet.ip.ttl - 1
+        if ttl_remaining <= 0:
+            return  # the expanding ring ends here
+        rebroadcast = Packet(
+            ip=IpHeader(src=self.address, dst=BROADCAST_IP,
+                        protocol=AODV_PROTOCOL, ttl=ttl_remaining),
+            payload_bytes=self.config.rreq_bytes, created_at=self.sim.now,
+            annotations={**packet.annotations, "aodv_hops": hops})
+        self.rreqs_forwarded += 1
+        delay = self._rng.uniform(0.0, self.config.rebroadcast_jitter)
+        self.sim.schedule(delay, self._transmit_if_running, rebroadcast,
+                          priority=Simulator.PRIORITY_NET)
+
+    def _record_request(self, request_key: Tuple[int, int]) -> None:
+        """Remember a request id, pruning entries past the discovery window.
+
+        Request ids are monotone per origin and never reused, so expired
+        entries cannot re-admit a duplicate — the sweep only keeps the seen
+        set proportional to the discovery rate instead of the run length.
+        """
+        cutoff = self.sim.now - self.config.path_discovery_time
+        expired = [key for key, seen_at in self._seen_requests.items()
+                   if seen_at < cutoff]
+        for key in expired:
+            del self._seen_requests[key]
+        self._seen_requests[request_key] = self.sim.now
+
+    def _transmit_if_running(self, packet: Packet) -> None:
+        if not self._past_stop():
+            self.network.send(packet)
+
+    # -- RREP ----------------------------------------------------------
+    def _send_rrep(self, next_hop: IpAddress, origin: IpAddress,
+                   destination_sequence: int, hops: int) -> None:
+        packet = Packet(
+            ip=IpHeader(src=self.address, dst=next_hop,
+                        protocol=AODV_PROTOCOL, ttl=1),
+            payload_bytes=self.config.rrep_bytes, created_at=self.sim.now,
+            annotations={
+                "aodv_type": "rrep",
+                "aodv_origin": origin.value,
+                "aodv_dest": self.address.value,
+                "aodv_dest_seq": destination_sequence,
+                "aodv_hops": hops,
+            })
+        self.rreps_sent += 1
+        self.sim.tracer.emit(self.name, "aodv", "rrep_tx",
+                             origin=str(origin), via=str(next_hop))
+        self.network.send(packet)
+
+    def _on_rrep(self, packet: Packet, sender: IpAddress) -> None:
+        self._touch_neighbor_route(sender)
+        destination = IpAddress(packet.annotations["aodv_dest"])
+        hops = packet.annotations["aodv_hops"] + 1
+        self._consider(destination, sender,
+                       sequence=packet.annotations["aodv_dest_seq"],
+                       metric=hops)
+        origin = IpAddress(packet.annotations["aodv_origin"])
+        if origin == self.address:
+            self._complete_discovery(destination)
+            return
+        reverse = self.table.entry_for(origin)
+        if reverse is None or not reverse.valid:
+            return  # reverse route gone (expired or broken): the RREP dies here
+        forwarded = Packet(
+            ip=IpHeader(src=self.address, dst=reverse.next_hop,
+                        protocol=AODV_PROTOCOL, ttl=1),
+            payload_bytes=self.config.rrep_bytes, created_at=self.sim.now,
+            annotations={**packet.annotations, "aodv_hops": hops})
+        self.rreps_forwarded += 1
+        self.network.send(forwarded)
+
+    # -- RERR ----------------------------------------------------------
+    def _broadcast_rerr(self, unreachable: List[Tuple[int, int]]) -> None:
+        payload = (self.config.rerr_header_bytes
+                   + len(unreachable) * self.config.rerr_entry_bytes)
+        packet = Packet(
+            ip=IpHeader(src=self.address, dst=BROADCAST_IP,
+                        protocol=AODV_PROTOCOL, ttl=1),
+            payload_bytes=payload, created_at=self.sim.now,
+            annotations={"aodv_type": "rerr",
+                         "aodv_unreachable": tuple(unreachable)})
+        self.rerrs_sent += 1
+        self.sim.tracer.emit(self.name, "aodv", "rerr_tx",
+                             destinations=len(unreachable))
+        self.network.send(packet)
+
+    def _on_rerr(self, packet: Packet, sender: IpAddress) -> None:
+        self.rerrs_received += 1
+        propagated: List[Tuple[int, int]] = []
+        for destination_value, sequence in packet.annotations["aodv_unreachable"]:
+            destination = IpAddress(destination_value)
+            entry = self.table.entry_for(destination)
+            if entry is None or not entry.valid or entry.next_hop != sender:
+                continue  # we were not routing through the sender
+            new_sequence = max(sequence, entry.sequence + 1)
+            self._invalidate(entry, new_sequence, "broken")
+            self.route_breaks += 1
+            propagated.append((destination.value, new_sequence))
+        if propagated:
+            self._broadcast_rerr(propagated)
+
+    # ------------------------------------------------------------------
+    # Route table maintenance
+    # ------------------------------------------------------------------
+    def _consider(self, destination: IpAddress, next_hop: IpAddress,
+                  sequence: int, metric: int) -> bool:
+        """Adopt a learned route under the sequence-number rule; True if adopted."""
+        if destination == self.address:
+            return False
+        current = self.table.entry_for(destination)
+        if current is not None:
+            if current.valid:
+                newer = sequence > current.sequence
+                better = sequence == current.sequence and metric < current.metric
+                if not newer and not better:
+                    self._refresh(destination)  # fresh evidence the route works
+                    return False
+            elif sequence < current.sequence:
+                return False  # older than the recorded break epoch
+        entry = RouteEntry(destination=destination, next_hop=next_hop,
+                           metric=metric, sequence=sequence,
+                           installed_at=self.sim.now)
+        was_valid = current is not None and current.valid
+        self.table.install(entry)
+        self.route_changes += 1
+        if not was_valid:
+            self._log(destination, "installed" if current is None else "restored")
+        self._refresh(destination)
+        return True
+
+    def _touch_neighbor_route(self, neighbor: IpAddress) -> None:
+        """Install/refresh the 1-hop route to a node we just heard directly."""
+        current = self.table.entry_for(neighbor)
+        if current is not None and current.valid and current.metric == 1:
+            self._refresh(neighbor)
+            return
+        sequence = current.sequence if current is not None else 0
+        self._consider(neighbor, neighbor, sequence=sequence, metric=1)
+
+    def _on_data_forwarded(self, packet: Packet, next_hop: IpAddress) -> None:
+        """Forwarded data keeps the routes it used alive (active-route rule)."""
+        if self._stopped:
+            return
+        self._refresh(IpAddress(packet.ip.dst))
+        self._refresh(IpAddress(packet.ip.src))
+        self._refresh(IpAddress(next_hop))
+
+    # -- lifetimes -----------------------------------------------------
+    def _refresh(self, destination: IpAddress) -> None:
+        if self._past_stop():
+            return
+        entry = self.table.entry_for(destination)
+        if entry is None or not entry.valid:
+            return
+        self._expires[destination] = self.sim.now + self.config.active_route_lifetime
+        # Refreshing only pushes deadlines later, so an already-armed timer
+        # stays correct: at worst it wakes early, finds nothing expired and
+        # re-arms at the new minimum.  Keeping this O(1) matters — it runs
+        # three times per forwarded data packet per hop.
+        if not self._expiry_timer.running:
+            self._rearm_expiry()
+
+    def _rearm_expiry(self) -> None:
+        if not self._expires:
+            self._expiry_timer.cancel()
+            return
+        deadline = min(self._expires.values())
+        self._expiry_timer.start(max(0.0, deadline - self.sim.now))
+
+    def _on_expiry(self) -> None:
+        now = self.sim.now
+        expired = sorted(destination for destination, deadline
+                         in self._expires.items() if deadline <= now + 1e-12)
+        for destination in expired:
+            entry = self.table.entry_for(destination)
+            if entry is not None and entry.valid:
+                self._invalidate(entry, entry.sequence + 1, "expired")
+                self.route_expirations += 1
+        self._rearm_expiry()
+
+    def _invalidate(self, entry: RouteEntry, sequence: int, event: str) -> None:
+        self.table.install(replace(entry, metric=INFINITE_METRIC,
+                                   sequence=sequence,
+                                   installed_at=self.sim.now))
+        self._expires.pop(entry.destination, None)
+        self.route_changes += 1
+        self._log(entry.destination, event)
+
+    # ------------------------------------------------------------------
+    # Link events from neighbor discovery
+    # ------------------------------------------------------------------
+    def _on_neighbor_down(self, neighbor: IpAddress) -> None:
+        if self._stopped:
+            return
+        lost: List[Tuple[int, int]] = []
+        for entry in self.table.entries():
+            if not entry.valid or entry.next_hop != neighbor:
+                continue
+            new_sequence = entry.sequence + 1
+            self._invalidate(entry, new_sequence, "broken")
+            self.route_breaks += 1
+            lost.append((entry.destination.value, new_sequence))
+        if lost:
+            self._broadcast_rerr(lost)
+        self._rearm_expiry()
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def _log(self, destination: IpAddress, event: str) -> None:
+        self.route_log.append((self.sim.now, destination, event))
+
+    def repair_latencies(self, destination: IpAddress) -> List[float]:
+        """Broken/expired → restored gaps (seconds) for ``destination``."""
+        destination = IpAddress(destination)
+        latencies: List[float] = []
+        broken_at: Optional[float] = None
+        for time, dest, event in self.route_log:
+            if dest != destination:
+                continue
+            if event in ("broken", "expired"):
+                if broken_at is None:
+                    broken_at = time
+            elif event in ("restored", "installed") and broken_at is not None:
+                latencies.append(time - broken_at)
+                broken_at = None
+        return latencies
+
+    def summary(self) -> dict:
+        """Flat headline statistics (reports and tests)."""
+        return {
+            "rreqs_sent": self.rreqs_sent,
+            "rreqs_forwarded": self.rreqs_forwarded,
+            "rreps_sent": self.rreps_sent,
+            "rreps_forwarded": self.rreps_forwarded,
+            "rerrs_sent": self.rerrs_sent,
+            "discoveries_started": self.discoveries_started,
+            "discoveries_completed": self.discoveries_completed,
+            "discoveries_failed": self.discoveries_failed,
+            "route_changes": self.route_changes,
+            "route_breaks": self.route_breaks,
+            "route_expirations": self.route_expirations,
+            "valid_routes": len(self.table),
+            "neighbors": len(self.discovery),
+            "hellos_sent": self.discovery.hellos_sent,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AodvRouter {self.name} routes={len(self.table)} "
+                f"pending={len(self._pending)} seq={self._own_sequence}>")

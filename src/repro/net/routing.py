@@ -27,6 +27,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: ``handler(packet, source_mac)``.
 PacketHandler = Callable[[Packet, MacAddress], None]
 
+#: Hook signature for packets that have no route: ``handler(packet) -> bool``.
+#: Returning True means the packet was consumed (e.g. buffered while an
+#: on-demand protocol discovers a route) instead of being dropped.
+NoRouteHandler = Callable[[Packet], bool]
+
+#: Observer signature for successfully routed unicast packets:
+#: ``observer(packet, next_hop_ip)``.  On-demand routing uses this to refresh
+#: active-route lifetimes from forwarded data.
+ForwardObserver = Callable[[Packet, IpAddress], None]
+
 #: The IP broadcast address used by flooding traffic.
 BROADCAST_IP = IpAddress("255.255.255.255")
 
@@ -112,6 +122,7 @@ class ForwardingStatistics:
     delivered_local: int = 0
     delivered_broadcast: int = 0
     no_route_drops: int = 0
+    no_route_buffered: int = 0
     ttl_drops: int = 0
     unhandled_protocol_drops: int = 0
 
@@ -131,6 +142,8 @@ class ForwardingEngine:
         self.name = name or f"net-{address}"
         self.stats = ForwardingStatistics()
         self._handlers: Dict[str, PacketHandler] = {}
+        self._no_route_handler: Optional[NoRouteHandler] = None
+        self._forward_observer: Optional[ForwardObserver] = None
         mac.set_receive_callback(self._on_mac_receive)
 
     # ------------------------------------------------------------------
@@ -140,12 +153,33 @@ class ForwardingEngine:
         """Register the local handler for packets of ``protocol`` ('tcp', 'udp', 'flood', ...)."""
         self._handlers[protocol] = handler
 
+    def set_no_route_handler(self, handler: Optional[NoRouteHandler]) -> None:
+        """Install the hook consulted before a packet becomes a no-route drop.
+
+        On-demand routing registers itself here: a packet the handler accepts
+        (returns True for) is counted as buffered, not dropped, and the
+        handler becomes responsible for re-injecting or discarding it.
+        """
+        self._no_route_handler = handler
+
+    def set_forward_observer(self, observer: Optional[ForwardObserver]) -> None:
+        """Install the observer notified of every successfully routed unicast."""
+        self._forward_observer = observer
+
     # ------------------------------------------------------------------
     # Transmit path
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Send a locally originated packet towards ``packet.ip.dst``."""
         self.stats.sent_local += 1
+        return self._route_and_enqueue(packet)
+
+    def reinject(self, packet: Packet) -> bool:
+        """Route a packet previously consumed by the no-route handler.
+
+        Identical to :meth:`send` except the packet is not counted as locally
+        originated again — it already was when it entered the stack.
+        """
         return self._route_and_enqueue(packet)
 
     def _route_and_enqueue(self, packet: Packet) -> bool:
@@ -160,8 +194,14 @@ class ForwardingEngine:
             next_hop_ip = self.routing_table.next_hop(destination)
             next_hop_mac = self.neighbors.resolve(next_hop_ip)
         except RoutingError:
+            if (self._no_route_handler is not None
+                    and self._no_route_handler(packet)):
+                self.stats.no_route_buffered += 1
+                return True
             self.stats.no_route_drops += 1
             return False
+        if self._forward_observer is not None:
+            self._forward_observer(packet, next_hop_ip)
         return self.mac.enqueue(packet, next_hop_mac)
 
     # ------------------------------------------------------------------

@@ -83,3 +83,19 @@ def default_dsdv_config():
     from repro.net.dynamic_routing import DsdvConfig
 
     return DsdvConfig()
+
+
+def default_aodv_config():
+    """The AODV parameters a ``routing="aodv"`` node uses unless overridden.
+
+    The :class:`~repro.net.on_demand.AodvConfig` defaults match the DSDV
+    operating point: the same 1 s HELLO beacons bound link-break detection at
+    ~3.5 s, while discovery timing suits Hydra's sub-megabit rates — at
+    0.65 Mbps a RREQ crosses a hop in well under ``ring_timeout_per_ttl``
+    even under contention, so an expanding-ring round trip comfortably fits
+    its timeout.  (Imported lazily: the network layer depends on this
+    module's profile, not the other way around.)
+    """
+    from repro.net.on_demand import AodvConfig
+
+    return AodvConfig()

@@ -7,16 +7,18 @@ protocol stack (here: the ``repro`` UDP/TCP implementations) on top.
 Beyond the paper's stationary testbed, a node may carry a
 :mod:`repro.mobility` model (:meth:`Node.set_mobility`); ``position`` then
 tracks the model's scheduler-driven updates and :meth:`Node.position_at`
-answers exactly for any time.  With ``routing="dsdv"`` the node additionally
-runs the dynamic control plane (:mod:`repro.net.dynamic_routing`): its
-routing table is a :class:`~repro.net.dynamic_routing.DynamicRoutingTable`
-maintained by HELLO-based neighbor discovery and DSDV advertisements instead
-of statically installed routes.
+answers exactly for any time.  With ``routing="dsdv"`` or ``routing="aodv"``
+the node additionally runs a dynamic control plane: its routing table is a
+:class:`~repro.net.dynamic_routing.DynamicRoutingTable` maintained either
+proactively by HELLO-based neighbor discovery plus DSDV advertisements
+(:mod:`repro.net.dynamic_routing`) or reactively by AODV-style on-demand
+route discovery (:mod:`repro.net.on_demand`) instead of statically installed
+routes.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.channel.medium import WirelessChannel
 from repro.core.policies import AggregationPolicy, broadcast_aggregation
@@ -25,12 +27,42 @@ from repro.mac.addresses import MacAddress
 from repro.mac.dcf import AggregatingMac, MacConfig
 from repro.net.address import IpAddress
 from repro.net.dynamic_routing import DsdvConfig, DsdvRouter, DynamicRoutingTable
+from repro.net.on_demand import AodvConfig, AodvRouter
 from repro.net.routing import ForwardingEngine, NeighborTable, RoutingTable
-from repro.node.hydra import HydraProfile, default_dsdv_config, default_hydra_profile
+from repro.node.hydra import (
+    HydraProfile,
+    default_aodv_config,
+    default_dsdv_config,
+    default_hydra_profile,
+)
 from repro.phy.device import Phy
 from repro.sim.simulator import Simulator
 from repro.transport.tcp.layer import TcpLayer
 from repro.transport.udp import UdpLayer
+
+#: The routing modes a node can be constructed with: statically installed
+#: routes (the paper's testbed), the proactive DSDV control plane, or the
+#: reactive AODV control plane.  :class:`~repro.topology.mobile.MobileScenario`
+#: validates against this same tuple, so the two never drift apart.
+VALID_ROUTING_MODES = ("static", "dsdv", "aodv")
+
+#: Configuration object accepted alongside the matching routing mode.
+RoutingConfig = Union[DsdvConfig, AodvConfig]
+
+
+def validate_routing_mode(routing: str) -> str:
+    """Fail fast (with a :class:`ValueError`) on an unknown routing mode.
+
+    :class:`~repro.errors.ConfigurationError` is also a :class:`ValueError`,
+    so an invalid ``routing=`` string surfaces at construction time with the
+    valid modes spelled out — never later as an ``AttributeError`` on a
+    router that was silently not built.
+    """
+    if routing not in VALID_ROUTING_MODES:
+        valid = ", ".join(repr(mode) for mode in VALID_ROUTING_MODES)
+        raise ConfigurationError(
+            f"unknown routing mode {routing!r}; valid modes: {valid}")
+    return routing
 
 
 class Node:
@@ -47,11 +79,9 @@ class Node:
         neighbors: Optional[NeighborTable] = None,
         use_block_ack: bool = False,
         routing: str = "static",
-        routing_config: Optional[DsdvConfig] = None,
+        routing_config: Optional[RoutingConfig] = None,
     ) -> None:
-        if routing not in ("static", "dsdv"):
-            raise ConfigurationError(
-                f"unknown routing mode {routing!r} (expected 'static' or 'dsdv')")
+        validate_routing_mode(routing)
         self.sim = sim
         self.channel = channel
         self.index = index
@@ -85,21 +115,37 @@ class Node:
 
         # --- network layer ---------------------------------------------------
         self.routing_mode = routing
-        self.routing_table = (DynamicRoutingTable() if routing == "dsdv"
-                              else RoutingTable())
+        self.routing_table = (RoutingTable() if routing == "static"
+                              else DynamicRoutingTable())
         self.neighbors = neighbors if neighbors is not None else NeighborTable()
         self.network = ForwardingEngine(sim, self.mac, self.ip,
                                         routing_table=self.routing_table,
                                         neighbors=self.neighbors,
                                         name=f"{self.name}.net")
-        # The DSDV control plane (None under static routing).  Construction
+        # The dynamic control plane (None under static routing).  Construction
         # wires packet handlers only; call :meth:`start_routing` (or let the
-        # scenario builder do it) to begin HELLOs and advertisements.
-        self.router: Optional[DsdvRouter] = None
+        # scenario builder do it) to begin HELLOs and route maintenance.
+        self.router: Optional[Union[DsdvRouter, AodvRouter]] = None
+        if routing == "static" and routing_config is not None:
+            raise ConfigurationError(
+                "routing_config was given but routing='static' ignores it; "
+                "did you mean routing='dsdv' or routing='aodv'?")
         if routing == "dsdv":
+            if routing_config is not None and not isinstance(routing_config, DsdvConfig):
+                raise ConfigurationError(
+                    f"routing='dsdv' takes a DsdvConfig, got "
+                    f"{type(routing_config).__name__}")
             self.router = DsdvRouter(sim, self.network, self.routing_table,
                                      config=routing_config or default_dsdv_config(),
                                      name=f"{self.name}.dsdv")
+        elif routing == "aodv":
+            if routing_config is not None and not isinstance(routing_config, AodvConfig):
+                raise ConfigurationError(
+                    f"routing='aodv' takes an AodvConfig, got "
+                    f"{type(routing_config).__name__}")
+            self.router = AodvRouter(sim, self.network, self.routing_table,
+                                     config=routing_config or default_aodv_config(),
+                                     name=f"{self.name}.aodv")
 
         # --- transport layers ------------------------------------------------
         self.udp = UdpLayer(sim, self.network, self.ip)

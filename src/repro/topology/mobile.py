@@ -25,24 +25,27 @@ Nodes added without a model stay stationary at zero overhead (no update
 events, identical link-budget floats), which is what lets mobile scenarios
 coexist with bit-for-bit reproduction of the paper's stationary experiments.
 
-``routing="dsdv"`` swaps the statically installed routes for the dynamic
+``routing="dsdv"`` swaps the statically installed routes for the proactive
 control plane of :mod:`repro.net.dynamic_routing`: every node runs HELLO
 neighbor discovery plus DSDV advertisements (started automatically, bounded
 by ``stop_time``), and multi-hop paths repair themselves as nodes move.
+``routing="aodv"`` runs the reactive counterpart
+(:mod:`repro.net.on_demand`): no proactive advertisements — routes are
+discovered by RREQ flooding the first time traffic asks for them and kept
+alive only while data flows.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.channel.medium import WirelessChannel
 from repro.channel.propagation import PropagationModel
 from repro.core.policies import AggregationPolicy
 from repro.errors import ConfigurationError
 from repro.mobility.models import MobilityModel
-from repro.net.dynamic_routing import DsdvConfig
 from repro.node.hydra import HydraProfile, default_hydra_profile
-from repro.node.node import Node
+from repro.node.node import Node, RoutingConfig, validate_routing_mode
 from repro.sim.simulator import Simulator
 from repro.topology.builders import _install_chain_routes
 from repro.topology.network import Network
@@ -65,10 +68,8 @@ class MobileScenario:
                  channel: Optional[WirelessChannel] = None,
                  stop_time: Optional[float] = None,
                  routing: str = "static",
-                 routing_config: Optional[DsdvConfig] = None) -> None:
-        if routing not in ("static", "dsdv"):
-            raise ConfigurationError(
-                f"unknown routing mode {routing!r} (expected 'static' or 'dsdv')")
+                 routing_config: Optional[RoutingConfig] = None) -> None:
+        validate_routing_mode(routing)
         self.sim = sim
         self.policy = policy
         profile = profile or default_hydra_profile()
@@ -117,8 +118,9 @@ class MobileScenario:
 
         Under ``routing="static"`` this keeps the paper's assumption: routes
         name the intended forwarding path, and mobility determines whether
-        each hop is currently usable.  Under ``routing="dsdv"`` routes are
-        discovered, so installing static ones is a configuration error.
+        each hop is currently usable.  Under ``routing="dsdv"`` or
+        ``routing="aodv"`` routes are discovered, so installing static ones
+        is a configuration error.
         """
         self._require_static("connect_chain")
         _install_chain_routes(self.network, list(indices))
@@ -134,7 +136,7 @@ class MobileScenario:
         if self.routing != "static":
             raise ConfigurationError(
                 f"{operation}() installs static routes, but this scenario uses "
-                f"routing={self.routing!r}; DSDV discovers routes by itself")
+                f"routing={self.routing!r}, which discovers routes by itself")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -146,7 +148,7 @@ class MobileScenario:
 
     @property
     def routers(self) -> Sequence["object"]:
-        """The DSDV routers of all nodes (empty under static routing)."""
+        """The DSDV/AODV routers of all nodes (empty under static routing)."""
         return [node.router for node in self.network.nodes
                 if node.router is not None]
 
@@ -157,3 +159,30 @@ class MobileScenario:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<MobileScenario nodes={len(self.network)} "
                 f"mobile={len(self.mobile_nodes)}>")
+
+
+#: Factory deciding each grid slot's mobility:
+#: ``factory(row, col, area) -> Optional[MobilityModel]``; ``area`` is the
+#: grid's bounding box ``(x_min, y_min, x_max, y_max)``.
+GridModelFactory = Callable[[int, int, Tuple[float, float, float, float]],
+                            Optional[MobilityModel]]
+
+
+def populate_grid(scenario: MobileScenario, grid_side: int, spacing_m: float,
+                  model_factory: Optional[GridModelFactory] = None) -> List[Node]:
+    """Add a ``grid_side`` × ``grid_side`` grid of nodes to ``scenario``.
+
+    Nodes are added in row-major order (so node indices, and therefore all
+    derived RNG streams, are deterministic); returns them in that order.
+    Shared by the mesh-routing experiments (``mob03``, ``rt02``) so the grid
+    geometry and mobility wiring cannot drift between them.
+    """
+    extent = (grid_side - 1) * spacing_m
+    area = (0.0, 0.0, extent, extent)
+    nodes: List[Node] = []
+    for row in range(grid_side):
+        for col in range(grid_side):
+            model = model_factory(row, col, area) if model_factory else None
+            nodes.append(scenario.add_node((col * spacing_m, row * spacing_m),
+                                           model))
+    return nodes

@@ -17,7 +17,7 @@ EXPECTED_IDS = {
     # Mobile-scenario experiments (beyond the paper's stationary setup).
     "mob01", "mob02",
     # Dynamic-routing experiments (DSDV control plane, PR 4).
-    "mob03", "mob04", "rt01",
+    "mob03", "mob04", "rt01", "rt02",
 }
 
 

@@ -13,6 +13,12 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+# tests/ itself is importable too, so test modules in any subdirectory can
+# share code via ``from helpers... import ...`` (see tests/helpers/).
+_TESTS = os.path.dirname(os.path.abspath(__file__))
+if _TESTS not in sys.path:
+    sys.path.insert(0, _TESTS)
+
 import pytest
 
 from repro.sim import Simulator

@@ -1,0 +1,1 @@
+"""Shared test helpers (importable because tests/conftest.py puts tests/ on sys.path)."""

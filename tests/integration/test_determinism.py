@@ -19,6 +19,7 @@ from repro.experiments import (
     mob03_mesh_routing,
     mob04_relay_failover,
     rt01_control_overhead,
+    rt02_overhead_scaling,
 )
 from repro.experiments.scenarios import (
     run_star_tcp,
@@ -41,6 +42,11 @@ TINY_MOB03 = {"speeds_mps": (3.0,), "grid_side": 2, "duration": 4.0, "warmup": 1
 TINY_MOB04 = {"orbit_periods": (10.0,), "duration": 12.0, "warmup": 1.5,
               "cbr_interval": 0.1, "include_static_baseline": False}
 TINY_RT01 = {"hello_intervals_s": (0.5,), "duration": 4.0, "warmup": 1.5,
+             "include_no_aggregation": False}
+#: AODV only: the mobile byte-identical-per-seed contract must hold for the
+#: on-demand control plane too (RREQ jitter, ring timers, expiry ordering).
+TINY_RT02 = {"routings": ("aodv",), "flow_counts": (1, 2), "speeds_mps": (2.0,),
+             "grid_side": 2, "duration": 5.0, "warmup": 2.0,
              "include_no_aggregation": False}
 
 
@@ -85,13 +91,17 @@ def _rt01_signature(seed: int) -> str:
     return repr(rt01_control_overhead.run(**TINY_RT01, seed=seed).to_dict())
 
 
+def _rt02_signature(seed: int) -> str:
+    return repr(rt02_overhead_scaling.run(**TINY_RT02, seed=seed).to_dict())
+
+
 ALL_SIGNATURES = [_tcp_signature, _udp_signature, _star_signature,
                   _mob01_signature, _mob02_signature, _mob03_signature,
-                  _mob04_signature, _rt01_signature]
+                  _mob04_signature, _rt01_signature, _rt02_signature]
 SIGNATURE_IDS = ["tcp_transfer", "udp_saturation", "star_tcp",
                  "mob01_flooding_mobility", "mob02_tcp_handoff",
                  "mob03_mesh_routing", "mob04_relay_failover",
-                 "rt01_control_overhead"]
+                 "rt01_control_overhead", "rt02_aodv_overhead_scaling"]
 
 
 @pytest.mark.parametrize("signature", ALL_SIGNATURES, ids=SIGNATURE_IDS)
@@ -107,12 +117,13 @@ def test_different_seeds_diverge(signature):
 @pytest.mark.parametrize("experiment_id,overrides", [
     ("mob01", TINY_MOB01),
     ("mob04", TINY_MOB04),
-], ids=["mob01_mobility", "mob04_dynamic_routing"])
+    ("rt02", TINY_RT02),
+], ids=["mob01_mobility", "mob04_dynamic_routing", "rt02_aodv_routing"])
 def test_mobile_campaign_across_pool_workers_matches_inline(experiment_id, overrides):
-    # Mobility draws (trajectories, shadowing) and the routing control plane
-    # (HELLO jitter, advertisement jitter, expiry ordering) must replicate
-    # byte for byte in a fresh worker process, or the campaign cache would
-    # mix histories.
+    # Mobility draws (trajectories, shadowing) and the routing control planes
+    # (HELLO jitter, advertisement jitter, AODV rebroadcast jitter and ring
+    # timers, expiry ordering) must replicate byte for byte in a fresh worker
+    # process, or the campaign cache would mix histories.
     inline = CampaignRunner(jobs=1).run_campaign(experiment_id, seeds=[1, 2],
                                                  overrides=overrides)
     pooled = CampaignRunner(jobs=2).run_campaign(experiment_id, seeds=[1, 2],

@@ -1,150 +1,118 @@
-"""DSDV convergence property: loop-free shortest routes once motion stops.
+"""Routing properties on random connected topologies, DSDV and AODV.
 
-The property backing the dynamic-routing subsystem: on *any* connected
-topology, within a bounded number of advertisement periods after motion
-stops, every node holds a route to every other node that
+The protocol-agnostic harness lives in ``tests/helpers/routing.py``; this
+module instantiates it for both dynamic control planes:
 
-* is **loop-free** (following next hops reaches the destination without
-  revisiting a node), and
-* has the **shortest hop count** (equal to the BFS distance on the
-  connectivity graph induced by the decodability range).
+* **DSDV (proactive)**: on *any* connected topology, within a bounded number
+  of advertisement periods after motion stops, every node holds a route to
+  every other node that is **loop-free** (following next hops reaches the
+  destination without revisiting a node) and has the **shortest hop count**
+  (equal to the BFS distance on the connectivity graph induced by the
+  decodability range).
+* **AODV (reactive)**: after a demand-driven warm-up — one probe packet per
+  requested pair, staggered so discoveries do not collide — every requested
+  connected pair holds a **loop-free route that reaches its destination**.
+  On-demand routes follow whichever RREQ copy won the flood, so shortest-path
+  metrics are not part of the reactive property.
 
 Random placements are drawn per seed from a dedicated RNG, rejected until
-connected, and checked pair-exhaustively.  A second test exercises the
+connected, and checked pair-exhaustively.  A second DSDV test exercises the
 "motion stops" clause literally: nodes roam first, then freeze, and the
 property must hold on the frozen topology.
 """
 
 from __future__ import annotations
 
-import math
 import random
-from collections import deque
-from typing import Dict, List, Sequence, Tuple
 
 import pytest
 
+from helpers.routing import (
+    ambiguous,
+    assert_routes_loop_free_and_reach,
+    assert_routes_loop_free_and_shortest,
+    bfs_distances,
+    connected_placement,
+    connectivity,
+)
 from repro.core.policies import broadcast_aggregation
 from repro.mobility.models import RandomWaypoint
 from repro.net.discovery import HelloConfig
 from repro.net.dynamic_routing import DsdvConfig
+from repro.net.on_demand import AodvConfig
 from repro.sim.simulator import Simulator
 from repro.topology.mobile import MobileScenario
-
-#: The default indoor propagation model decodes out to ~12.5 m, but subframe
-#: survival at 0.65 Mbps only stays ~1.0 up to ~8 m and collapses past 10 m.
-#: Graph edges therefore require <= LINK_M (reliable), non-edges require
-#: > NO_LINK_M (undecodable), and placements with any pair in the lossy band
-#: between them are rejected — the connectivity graph the property checks
-#: then matches what the radios actually experience.
-LINK_M = 8.0
-NO_LINK_M = 12.5
 
 FAST_DSDV = DsdvConfig(hello=HelloConfig(hello_interval=0.4),
                        advertise_interval=1.2)
 
+#: Long active-route lifetime: the reactive property is about discovery
+#: correctness, so warmed-up routes must not expire before the assertions.
+FAST_AODV = AodvConfig(hello=HelloConfig(hello_interval=0.4),
+                       active_route_lifetime=120.0,
+                       ring_start_ttl=1, ring_ttl_increment=2)
 
-def _connectivity(positions: Sequence[Tuple[float, float]]) -> List[List[int]]:
-    """Adjacency lists under the decodability range."""
-    n = len(positions)
-    adjacency: List[List[int]] = [[] for _ in range(n)]
-    for i in range(n):
-        for j in range(i + 1, n):
-            if math.dist(positions[i], positions[j]) <= LINK_M:
-                adjacency[i].append(j)
-                adjacency[j].append(i)
-    return adjacency
-
-
-def _bfs_distances(adjacency: List[List[int]], start: int) -> Dict[int, int]:
-    distances = {start: 0}
-    queue = deque([start])
-    while queue:
-        node = queue.popleft()
-        for neighbor in adjacency[node]:
-            if neighbor not in distances:
-                distances[neighbor] = distances[node] + 1
-                queue.append(neighbor)
-    return distances
-
-
-def _ambiguous(positions: Sequence[Tuple[float, float]]) -> bool:
-    """True when any pair sits in the lossy band between link and no-link."""
-    n = len(positions)
-    for i in range(n):
-        for j in range(i + 1, n):
-            distance = math.dist(positions[i], positions[j])
-            if LINK_M < distance <= NO_LINK_M:
-                return True
-    return False
-
-
-def _connected_placement(rng: random.Random, node_count: int,
-                         area_m: float) -> List[Tuple[float, float]]:
-    """Random positions, rejected until connected and unambiguous."""
-    while True:
-        positions = [(rng.uniform(0.0, area_m), rng.uniform(0.0, area_m))
-                     for _ in range(node_count)]
-        if _ambiguous(positions):
-            continue
-        adjacency = _connectivity(positions)
-        if len(_bfs_distances(adjacency, 0)) == node_count:
-            return positions
-
-
-def _assert_routes_loop_free_and_shortest(scenario: MobileScenario,
-                                          positions: Sequence[Tuple[float, float]]) -> None:
-    adjacency = _connectivity(positions)
-    nodes = scenario.network.nodes
-    index_of = {node.ip: i for i, node in enumerate(nodes)}
-    for i, node in enumerate(nodes):
-        distances = _bfs_distances(adjacency, i)
-        for j, target in enumerate(nodes):
-            if i == j:
-                continue
-            expected = distances[j]
-            entry = node.router.table.entry_for(target.ip)
-            assert entry is not None and entry.valid, (
-                f"node {i + 1} has no route to node {j + 1}")
-            assert entry.metric == expected, (
-                f"node {i + 1} -> node {j + 1}: metric {entry.metric}, "
-                f"BFS distance {expected}")
-            # Walk the forwarding chain: it must reach the target in exactly
-            # the advertised number of hops without revisiting any node.
-            current, hops, visited = i, 0, {i}
-            while current != j:
-                step = nodes[current].router.table.entry_for(target.ip)
-                assert step is not None and step.valid
-                current = index_of[step.next_hop]
-                hops += 1
-                assert current not in visited, (
-                    f"routing loop towards node {j + 1} at node {current + 1}")
-                visited.add(current)
-                assert hops <= len(nodes)
-            assert hops == expected
-
-
-#: Advertisement periods within which convergence must complete: enough for
-#: initial HELLO discovery plus metric-by-metric propagation across the
+#: Advertisement periods within which DSDV convergence must complete: enough
+#: for initial HELLO discovery plus metric-by-metric propagation across the
 #: diameter, with slack for lost updates (they contend with nothing here).
 CONVERGENCE_PERIODS = 8
 
+#: Spacing between AODV warm-up probes; generous enough that an
+#: expanding-ring escalation for one pair finishes before the next begins.
+PROBE_SPACING_S = 0.15
 
-@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
-def test_random_connected_topologies_converge_loop_free_shortest(seed):
+
+def _random_scenario(protocol: str, seed: int):
+    """A random connected placement running the given control plane."""
     placement_rng = random.Random(1000 + seed)
     node_count = placement_rng.choice([4, 5, 6])
-    positions = _connected_placement(placement_rng, node_count, area_m=24.0)
-
+    positions = connected_placement(placement_rng, node_count, area_m=24.0)
+    config = FAST_DSDV if protocol == "dsdv" else FAST_AODV
     horizon = CONVERGENCE_PERIODS * FAST_DSDV.advertise_interval
     sim = Simulator(seed=seed)
     scenario = MobileScenario(sim, policy=broadcast_aggregation(),
-                              stop_time=horizon, routing="dsdv",
-                              routing_config=FAST_DSDV)
+                              stop_time=horizon, routing=protocol,
+                              routing_config=config)
     for position in positions:
         scenario.add_node(position)
-    sim.run(until=horizon)
-    _assert_routes_loop_free_and_shortest(scenario, positions)
+    return sim, scenario, positions, horizon
+
+
+def _warm_up_on_demand(sim, scenario, pairs, start: float) -> float:
+    """Send one staggered probe datagram per requested pair; return the end time."""
+    nodes = scenario.network.nodes
+    sockets = {i: node.udp.bind(9100) for i, node in enumerate(nodes)}
+    for offset, (source_index, dest_index) in enumerate(pairs):
+        sim.schedule_at(start + offset * PROBE_SPACING_S,
+                        sockets[source_index].send_to,
+                        nodes[dest_index].ip, 9100, 16)
+    return start + len(pairs) * PROBE_SPACING_S
+
+
+@pytest.mark.parametrize("protocol", ["dsdv", "aodv"])
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_random_connected_topologies_yield_loop_free_routes(protocol, seed):
+    sim, scenario, positions, horizon = _random_scenario(protocol, seed)
+    if protocol == "dsdv":
+        # Proactive: converges on its own within the bounded horizon.
+        sim.run(until=horizon)
+        assert_routes_loop_free_and_shortest(scenario, positions)
+        return
+    # Reactive: routes exist only on demand, so request every ordered pair
+    # (all are connected — the placement is) and assert each one routes.
+    node_count = len(scenario.network.nodes)
+    pairs = [(i, j) for i in range(node_count) for j in range(node_count)
+             if i != j]
+    probes_done = _warm_up_on_demand(sim, scenario, pairs, start=1.0)
+    # Re-bound the control plane so late discoveries can still complete.
+    deadline = probes_done + 3.0
+    for node in scenario.network.nodes:
+        node.router.stop()
+        node.router.start(stop_time=deadline)
+    sim.run(until=deadline)
+    routers = [node.router for node in scenario.network.nodes]
+    assert sum(router.discoveries_failed for router in routers) == 0
+    assert_routes_loop_free_and_reach(scenario, pairs)
 
 
 def test_convergence_after_motion_stops():
@@ -173,8 +141,8 @@ def test_convergence_after_motion_stops():
         node.phy.mobility = None  # position queries return the snapshot again
         node.position = slot
     frozen = [node.position for node in scenario.network.nodes]
-    assert not _ambiguous(frozen)
-    assert len(_bfs_distances(_connectivity(frozen), 0)) == len(frozen)
+    assert not ambiguous(frozen)
+    assert len(bfs_distances(connectivity(frozen), 0)) == len(frozen)
 
     # Re-arm the control plane beyond the original stop_time and let it
     # reconverge on the frozen topology.
@@ -183,4 +151,4 @@ def test_convergence_after_motion_stops():
         node.router.stop()
         node.router.start(stop_time=deadline)
     sim.run(until=deadline)
-    _assert_routes_loop_free_and_shortest(scenario, frozen)
+    assert_routes_loop_free_and_shortest(scenario, frozen)

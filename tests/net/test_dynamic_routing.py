@@ -102,8 +102,8 @@ class TestDsdvProtocol:
 
     def test_unknown_routing_mode_rejected(self):
         sim = Simulator(seed=1)
-        with pytest.raises(ConfigurationError):
-            MobileScenario(sim, policy=broadcast_aggregation(), routing="aodv")
+        with pytest.raises(ConfigurationError, match="'static', 'dsdv', 'aodv'"):
+            MobileScenario(sim, policy=broadcast_aggregation(), routing="olsr")
 
     def test_chain_converges_to_shortest_hop_count_routes(self):
         sim, scenario = _chain_scenario(node_count=4, duration=12.0)

@@ -1,0 +1,432 @@
+"""AODV on-demand routing: discovery, expanding ring, RERR, lifetimes, wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cbr import CbrSource, UdpSink
+from repro.channel.medium import WirelessChannel
+from repro.core.policies import broadcast_aggregation
+from repro.errors import ConfigurationError, RoutingError
+from repro.mac.stats import ROUTING_CONTROL_PROTOCOLS
+from repro.net.discovery import HelloConfig
+from repro.net.dynamic_routing import DynamicRoutingTable, INFINITE_METRIC
+from repro.net.on_demand import AodvConfig, AodvRouter
+from repro.net.routing import RoutingTable
+from repro.node.node import Node, VALID_ROUTING_MODES
+from repro.sim.simulator import Simulator
+from repro.topology.mobile import MobileScenario
+
+FAST_AODV = AodvConfig(hello=HelloConfig(hello_interval=0.4),
+                       active_route_lifetime=30.0,
+                       ring_start_ttl=2, ring_ttl_increment=2)
+
+
+def _chain_scenario(node_count=3, spacing=8.0, seed=1, duration=20.0,
+                    config=FAST_AODV):
+    sim = Simulator(seed=seed)
+    scenario = MobileScenario(sim, policy=broadcast_aggregation(),
+                              stop_time=duration, routing="aodv",
+                              routing_config=config)
+    for i in range(node_count):
+        scenario.add_node((i * spacing, 0.0))
+    return sim, scenario
+
+
+def _send_probe(scenario, source_index, dest_index, at, port=9100):
+    """One UDP datagram from source to destination at time ``at``."""
+    network = scenario.network
+    socket = network.node(source_index).udp.bind(port)
+    scenario.sim.schedule_at(at, socket.send_to,
+                             network.node(dest_index).ip, port, 32)
+    return socket
+
+
+class TestAodvConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"active_route_lifetime": 0.0},
+        {"ring_start_ttl": 0},
+        {"ring_ttl_increment": 0},
+        {"ring_max_ttl": 1, "ring_start_ttl": 2},
+        {"rreq_retries": -1},
+        {"ring_timeout_per_ttl": 0.0},
+        {"rebroadcast_jitter": -0.01},
+        {"buffer_packets": 0},
+        {"rerr_entry_bytes": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AodvConfig(**kwargs)
+
+
+class TestRoutingModeValidation:
+    """Regression: an unknown ``routing=`` string fails fast at construction
+    with a ValueError naming the valid modes — never later as an attribute
+    error on a router that was silently not built."""
+
+    def _channel(self):
+        sim = Simulator(seed=1)
+        return sim, WirelessChannel(sim)
+
+    def test_node_rejects_unknown_mode_with_value_error(self):
+        sim, channel = self._channel()
+        with pytest.raises(ValueError) as excinfo:
+            Node(sim, channel, index=1, routing="olsr")
+        for mode in VALID_ROUTING_MODES:
+            assert repr(mode) in str(excinfo.value)
+
+    def test_node_rejection_is_also_a_configuration_error(self):
+        sim, channel = self._channel()
+        with pytest.raises(ConfigurationError):
+            Node(sim, channel, index=1, routing="olsr")
+
+    def test_scenario_rejects_unknown_mode_with_value_error(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError, match="'static', 'dsdv', 'aodv'"):
+            MobileScenario(sim, policy=broadcast_aggregation(), routing="Dsdv")
+
+    def test_mismatched_routing_config_rejected(self):
+        sim, channel = self._channel()
+        with pytest.raises(ConfigurationError, match="DsdvConfig"):
+            Node(sim, channel, index=1, routing="dsdv", routing_config=AodvConfig())
+
+    def test_static_mode_rejects_a_routing_config(self):
+        # A config with routing="static" means the caller almost certainly
+        # forgot to switch modes; dropping it silently would run the wrong
+        # control plane.
+        sim, channel = self._channel()
+        with pytest.raises(ConfigurationError, match="static"):
+            Node(sim, channel, index=1, routing="static",
+                 routing_config=AodvConfig())
+
+    def test_all_valid_modes_construct(self):
+        for mode in VALID_ROUTING_MODES:
+            sim = Simulator(seed=1)
+            node = Node(sim, WirelessChannel(sim), index=1, routing=mode)
+            assert node.routing_mode == mode
+
+    def test_aodv_node_wiring(self):
+        sim, channel = self._channel()
+        node = Node(sim, channel, index=1, routing="aodv")
+        assert isinstance(node.router, AodvRouter)
+        assert isinstance(node.routing_table, DynamicRoutingTable)
+        assert node.router.table is node.routing_table
+
+    def test_static_node_has_no_router_or_hooks(self):
+        sim, channel = self._channel()
+        node = Node(sim, channel, index=1)
+        assert node.router is None
+        assert isinstance(node.routing_table, RoutingTable)
+        assert node.network._no_route_handler is None
+
+
+class TestRouteDiscovery:
+    def test_demand_driven_chain_discovery_delivers(self):
+        sim, scenario = _chain_scenario(node_count=3)
+        network = scenario.network
+        sink = UdpSink(network.node(3))
+        source = CbrSource(network.node(1), network.node(3).ip,
+                           interval=0.1, payload_bytes=200)
+        source.start(1.0)
+        sim.run(until=10.0)
+        assert sink.packets_received >= source.packets_sent * 0.9
+        origin = network.node(1)
+        entry = origin.router.table.entry_for(network.node(3).ip)
+        assert entry is not None and entry.valid
+        assert entry.metric == 2
+        assert entry.next_hop == network.node(2).ip
+        assert origin.router.discoveries_completed == 1
+        # Demand-driven: no proactive advertisements exist, so a node nobody
+        # asked about installs no multi-hop routes anywhere.
+        assert origin.network.stats.no_route_buffered >= 1
+        assert origin.network.stats.no_route_drops == 0
+
+    def test_relay_learns_both_directions_from_one_discovery(self):
+        sim, scenario = _chain_scenario(node_count=3)
+        _send_probe(scenario, 1, 3, at=1.0)
+        sim.run(until=5.0)
+        relay = scenario.network.node(2)
+        # Reverse route (from the RREQ) and forward route (from the RREP).
+        for index in (1, 3):
+            entry = relay.router.table.entry_for(scenario.network.node(index).ip)
+            assert entry is not None and entry.valid and entry.metric == 1
+
+    def test_expanding_ring_escalates_ttl(self):
+        config = AodvConfig(hello=HelloConfig(hello_interval=0.4),
+                            active_route_lifetime=30.0,
+                            ring_start_ttl=1, ring_ttl_increment=2)
+        sim, scenario = _chain_scenario(node_count=4, config=config)
+        _send_probe(scenario, 1, 4, at=1.0)
+        sim.run(until=8.0)
+        origin = scenario.network.node(1).router
+        # TTL 1 cannot reach a 3-hop destination: at least one retry happened
+        # and the route was found on a wider ring.
+        assert origin.rreqs_sent >= 2
+        assert origin.discoveries_completed == 1
+        entry = origin.table.entry_for(scenario.network.node(4).ip)
+        assert entry is not None and entry.valid and entry.metric == 3
+
+    def test_duplicate_rreqs_suppressed_by_request_id(self):
+        # Diamond: two relays both hear the origin's RREQ; the destination
+        # hears two copies but must reply only once.
+        sim = Simulator(seed=3)
+        scenario = MobileScenario(sim, policy=broadcast_aggregation(),
+                                  stop_time=10.0, routing="aodv",
+                                  routing_config=FAST_AODV)
+        scenario.add_node((0.0, 0.0))      # 1: origin
+        scenario.add_node((6.0, 4.0))      # 2: relay up
+        scenario.add_node((6.0, -4.0))     # 3: relay down
+        scenario.add_node((12.0, 0.0))     # 4: destination
+        _send_probe(scenario, 1, 4, at=1.0)
+        sim.run(until=6.0)
+        destination = scenario.network.node(4).router
+        assert destination.rreps_sent == 1
+        assert destination.duplicate_rreqs_ignored >= 1
+        assert scenario.network.node(1).router.discoveries_completed == 1
+
+    def test_programmatic_discover_warms_up_without_traffic(self):
+        sim, scenario = _chain_scenario(node_count=3)
+        origin = scenario.network.node(1)
+        target = scenario.network.node(3)
+        sim.schedule_at(1.0, origin.router.discover, target.ip)
+        sim.run(until=5.0)
+        entry = origin.router.table.entry_for(target.ip)
+        assert entry is not None and entry.valid and entry.metric == 2
+        # The synthetic probe never enters the data plane: nothing reaches
+        # the destination's stack and nothing counts as a dropped packet.
+        assert target.network.stats.unhandled_protocol_drops == 0
+        assert target.network.stats.delivered_local == 0
+        assert origin.router.buffered_packets_dropped == 0
+        # Idempotent: discovering an already-routed destination is a no-op.
+        rreqs_before = origin.router.rreqs_sent
+        origin.router.discover(target.ip)
+        assert origin.router.rreqs_sent == rreqs_before
+
+    def test_same_seed_runs_identical_different_seeds_diverge(self):
+        def signature(seed):
+            sim, scenario = _chain_scenario(node_count=4, seed=seed, duration=10.0)
+            sink = UdpSink(scenario.network.node(4))
+            source = CbrSource(scenario.network.node(1),
+                               scenario.network.node(4).ip,
+                               interval=0.15, payload_bytes=120)
+            source.start(1.0)
+            sim.run(until=10.0)
+            return repr([
+                (node.router.summary(),
+                 [str(e) for e in node.router.table.entries()])
+                for node in scenario.network.nodes
+            ]) + f"|{sink.packets_received}|{sim.events_processed}"
+
+        assert signature(1) == signature(1)
+        assert signature(1) != signature(2)
+
+
+class TestUnreachableDestination:
+    def test_exhausted_ring_search_raises_the_same_routing_error(self):
+        # Two nodes far beyond decodability: the expanding-ring search must
+        # exhaust and the destination must surface exactly like a missing
+        # static route — a RoutingError from next_hop(), a drop from send().
+        config = AodvConfig(hello=HelloConfig(hello_interval=0.4),
+                            ring_start_ttl=1, ring_ttl_increment=2,
+                            ring_max_ttl=3, rreq_retries=1,
+                            ring_timeout_per_ttl=0.1)
+        sim = Simulator(seed=1)
+        scenario = MobileScenario(sim, policy=broadcast_aggregation(),
+                                  stop_time=8.0, routing="aodv",
+                                  routing_config=config)
+        scenario.add_node((0.0, 0.0))
+        scenario.add_node((200.0, 0.0))
+        _send_probe(scenario, 1, 2, at=1.0)
+        sim.run(until=8.0)
+        origin = scenario.network.node(1)
+        router = origin.router
+        assert router.discoveries_started == 1
+        assert router.discoveries_failed == 1
+        assert router.discoveries_completed == 0
+        assert router.buffered_packets_dropped == 1
+        # ring 1, 3, then rreq_retries=1 extra attempts at the max TTL.
+        assert router.rreqs_sent >= 3
+        unreachable = scenario.network.node(2).ip
+        with pytest.raises(RoutingError) as aodv_error:
+            origin.routing_table.next_hop(unreachable)
+        with pytest.raises(RoutingError) as static_error:
+            RoutingTable().next_hop(unreachable)
+        assert type(aodv_error.value) is type(static_error.value)
+
+    def test_buffer_bound_drops_oldest(self):
+        config = AodvConfig(hello=HelloConfig(hello_interval=0.4),
+                            ring_start_ttl=1, ring_max_ttl=2,
+                            rreq_retries=20, ring_timeout_per_ttl=5.0,
+                            buffer_packets=3)
+        sim = Simulator(seed=1)
+        scenario = MobileScenario(sim, policy=broadcast_aggregation(),
+                                  stop_time=6.0, routing="aodv",
+                                  routing_config=config)
+        scenario.add_node((0.0, 0.0))
+        scenario.add_node((200.0, 0.0))
+        source = CbrSource(scenario.network.node(1), scenario.network.node(2).ip,
+                           interval=0.2, payload_bytes=64)
+        source.start(1.0)
+        sim.run(until=4.0)
+        router = scenario.network.node(1).router
+        assert router.buffered_packets_dropped > 0
+        assert len(router._pending[scenario.network.node(2).ip].buffered) == 3
+
+
+class TestLinkBreakRerr:
+    def test_rerr_invalidates_stale_routes_upstream(self):
+        sim, scenario = _chain_scenario(node_count=3, duration=60.0)
+        network = scenario.network
+        sink = UdpSink(network.node(3))
+        source = CbrSource(network.node(1), network.node(3).ip,
+                           interval=0.2, payload_bytes=120)
+        source.start(1.0)
+        sim.run(until=6.0)
+        first, relay, last = (network.node(i) for i in (1, 2, 3))
+        assert first.routing_table.has_route(last.ip)
+        broken_entry = first.router.table.entry_for(last.ip)
+        # Carry the destination out of range; the relay's HELLO hold expires,
+        # it invalidates its route to node 3 and broadcasts a RERR, and the
+        # source — which was routing through the relay — invalidates too.
+        last.position = (500.0, 0.0)
+        sim.run(until=6.0 + 4 * FAST_AODV.hello.hold_time)
+        assert relay.router.rerrs_sent >= 1
+        assert first.router.rerrs_received >= 1
+        assert first.router.route_breaks >= 1
+        stale = first.router.table.entry_for(last.ip)
+        assert stale is not None and not stale.valid
+        assert stale.metric == INFINITE_METRIC
+        assert stale.sequence > broken_entry.sequence
+        assert not first.routing_table.has_route(last.ip)
+
+    def test_route_rediscovered_after_break_heals(self):
+        sim, scenario = _chain_scenario(node_count=3, duration=60.0)
+        network = scenario.network
+        sink = UdpSink(network.node(3))
+        source = CbrSource(network.node(1), network.node(3).ip,
+                           interval=0.2, payload_bytes=120)
+        source.start(1.0)
+        sim.run(until=6.0)
+        received_before = sink.packets_received
+        origin_position = network.node(3).position
+        network.node(3).position = (500.0, 0.0)
+        sim.run(until=6.0 + 4 * FAST_AODV.hello.hold_time)
+        assert not network.node(1).routing_table.has_route(network.node(3).ip)
+        network.node(3).position = origin_position
+        sim.run(until=sim.now + 10.0)
+        # Traffic is still flowing, so the next datagram re-discovers.
+        assert network.node(1).routing_table.has_route(network.node(3).ip)
+        assert sink.packets_received > received_before
+        assert network.node(1).router.discoveries_completed >= 2
+
+
+class TestActiveRouteLifetime:
+    def _pair(self, lifetime, duration=30.0, seed=1):
+        config = AodvConfig(hello=HelloConfig(hello_interval=0.4),
+                            active_route_lifetime=lifetime)
+        sim = Simulator(seed=seed)
+        scenario = MobileScenario(sim, policy=broadcast_aggregation(),
+                                  stop_time=duration, routing="aodv",
+                                  routing_config=config)
+        scenario.add_node((0.0, 0.0))
+        scenario.add_node((6.0, 0.0))
+        return sim, scenario
+
+    def test_idle_route_expires(self):
+        sim, scenario = self._pair(lifetime=1.0)
+        _send_probe(scenario, 1, 2, at=1.0)
+        sim.run(until=8.0)
+        router = scenario.network.node(1).router
+        assert router.route_expirations >= 1
+        entry = router.table.entry_for(scenario.network.node(2).ip)
+        assert entry is not None and not entry.valid
+
+    def test_forwarded_data_refreshes_the_route(self):
+        sim, scenario = self._pair(lifetime=1.0)
+        source = CbrSource(scenario.network.node(1), scenario.network.node(2).ip,
+                           interval=0.3, payload_bytes=64)
+        source.start(1.0)
+        sim.run(until=8.0)
+        router = scenario.network.node(1).router
+        # Data every 0.3 s against a 1.0 s lifetime: never expires.
+        entry = router.table.entry_for(scenario.network.node(2).ip)
+        assert entry is not None and entry.valid
+        assert router.discoveries_started == 1
+
+    def test_pending_lifetimes_survive_a_stop_start_cycle(self):
+        # Regression: stop() cancels the expiry timer but keeps the recorded
+        # deadlines; start() must re-arm, or a route due to expire would stay
+        # valid forever after a restart.
+        sim, scenario = self._pair(lifetime=1.0)
+        _send_probe(scenario, 1, 2, at=1.0)
+        sim.run(until=1.5)
+        router = scenario.network.node(1).router
+        assert router.table.entry_for(scenario.network.node(2).ip).valid
+        router.stop()
+        router.start(stop_time=30.0)
+        sim.run(until=8.0)
+        assert router.route_expirations >= 1
+        assert not router.table.entry_for(scenario.network.node(2).ip).valid
+
+    def test_seen_request_ids_are_pruned_after_the_discovery_window(self):
+        config = AodvConfig(hello=HelloConfig(hello_interval=0.4),
+                            active_route_lifetime=1.0,
+                            path_discovery_time=1.0)
+        sim = Simulator(seed=1)
+        scenario = MobileScenario(sim, policy=broadcast_aggregation(),
+                                  stop_time=12.0, routing="aodv",
+                                  routing_config=config)
+        scenario.add_node((0.0, 0.0))
+        scenario.add_node((6.0, 0.0))
+        source = CbrSource(scenario.network.node(1), scenario.network.node(2).ip,
+                           interval=2.5, payload_bytes=64)
+        source.start(1.0)
+        sim.run(until=12.0)
+        router = scenario.network.node(1).router
+        # Every sparse packet rediscovered, but only ids inside the
+        # 1 s discovery window survive the prune.
+        assert router.discoveries_started >= 3
+        assert len(router._seen_requests) <= 2
+
+    def test_sparse_traffic_rediscovers_every_packet(self):
+        sim, scenario = self._pair(lifetime=1.0)
+        source = CbrSource(scenario.network.node(1), scenario.network.node(2).ip,
+                           interval=2.5, payload_bytes=64)
+        source.start(1.0)
+        sim.run(until=11.0)
+        router = scenario.network.node(1).router
+        # Packet spacing (2.5 s) exceeds the lifetime (1 s): each datagram
+        # finds its cached route expired and pays a fresh discovery.
+        assert router.discoveries_started >= 3
+        assert router.route_expirations >= 3
+
+
+class TestControlPlaneAccounting:
+    def test_aodv_is_a_routing_control_protocol(self):
+        assert "aodv" in ROUTING_CONTROL_PROTOCOLS
+
+    def test_control_bytes_counted_in_mac_stats(self):
+        sim, scenario = _chain_scenario(node_count=3)
+        _send_probe(scenario, 1, 3, at=1.0)
+        sim.run(until=8.0)
+        stats = scenario.network.node(2).mac_stats
+        assert stats.routing_subframes_sent > 0
+        assert 0.0 < stats.routing_overhead_fraction <= 1.0
+        assert stats.routing_bytes_sent <= stats.payload_bytes_sent
+
+    def test_summary_is_flat(self):
+        sim, scenario = _chain_scenario(node_count=3)
+        _send_probe(scenario, 1, 3, at=1.0)
+        sim.run(until=8.0)
+        summary = scenario.network.node(1).router.summary()
+        assert summary["rreqs_sent"] >= 1
+        assert summary["discoveries_completed"] == 1
+        assert summary["neighbors"] == 1
+        assert summary["hellos_sent"] > 0
+
+    def test_static_route_installers_are_rejected_under_aodv(self):
+        sim, scenario = _chain_scenario()
+        with pytest.raises(ConfigurationError):
+            scenario.connect_chain(1, 2, 3)
+        with pytest.raises(ConfigurationError):
+            scenario.connect_pair(1, 2)
