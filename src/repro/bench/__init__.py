@@ -1,0 +1,61 @@
+"""Machine-readable performance trajectory for the canonical benchmarks.
+
+ROADMAP item 2 ("raw-speed overhaul with a tracked perf trajectory") needs
+every optimisation claim to be verifiable: each canonical benchmark scenario
+emits a ``BENCH_<scenario>.json`` file holding a committed **baseline** record
+plus an appended **history** of measurements (wall-clock seconds, executed
+events, events/second and simulated-seconds per wall-second).  The same files
+are written by two front ends:
+
+* ``python -m repro.bench`` — runs the canonical scenarios directly (no
+  pytest), prints a trajectory report, appends history records and gates on
+  regressions vs the committed baseline (``--check``); and
+* the pytest benchmark suite — ``benchmarks/bench_common.run_once`` records
+  the same measurement for every canonical bench it runs.
+
+Measurement itself is :func:`measure`, built on the process-wide
+:data:`repro.sim.telemetry.TELEMETRY` accumulator, so events are counted
+inside whatever simulators a scenario constructs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Tuple
+
+from repro.sim.telemetry import TELEMETRY
+
+from repro.bench.history import (  # noqa: F401  (re-exported API)
+    bench_path,
+    check_against_baseline,
+    load_history,
+    record_measurement,
+)
+from repro.bench.scenarios import CANONICAL_SCENARIOS  # noqa: F401
+
+
+def measure(function: Callable[..., Any], *args: Any, **kwargs: Any
+            ) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``function`` once, measuring wall time and simulator throughput.
+
+    Returns ``(result, record)`` where ``record`` holds the fields stored in
+    a ``BENCH_*.json`` history entry (minus the timestamp/source metadata
+    added at write time).
+    """
+    events_before, sim_before, _ = TELEMETRY.snapshot()
+    wall_start = time.perf_counter()
+    result = function(*args, **kwargs)
+    wall_seconds = time.perf_counter() - wall_start
+    events_after, sim_after, _ = TELEMETRY.snapshot()
+
+    events = events_after - events_before
+    sim_seconds = sim_after - sim_before
+    record = {
+        "wall_seconds": round(wall_seconds, 6),
+        "events": events,
+        "events_per_second": round(events / wall_seconds, 1) if wall_seconds > 0 else 0.0,
+        "simulated_seconds": round(sim_seconds, 6),
+        "sim_seconds_per_wall_second": (
+            round(sim_seconds / wall_seconds, 3) if wall_seconds > 0 else 0.0),
+    }
+    return result, record

@@ -1,0 +1,101 @@
+"""``python -m repro.bench`` — run the canonical benches, track the trajectory.
+
+Examples::
+
+    python -m repro.bench                         # run all, print report
+    python -m repro.bench --update                # ...and append history records
+    python -m repro.bench --update --check        # ...and gate on >20% regression
+    python -m repro.bench --rebaseline --label "post speed overhaul"
+    python -m repro.bench --scenarios fig09_udp_flooding --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import check_against_baseline, load_history, measure, record_measurement
+from repro.bench.scenarios import CANONICAL_SCENARIOS
+
+
+def _format_eps(value: Optional[float]) -> str:
+    return f"{value:>12,.0f}" if value is not None else f"{'-':>12}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the canonical benchmark scenarios and track the "
+                    "perf trajectory in benchmarks/results/BENCH_<scenario>.json.")
+    parser.add_argument("--scenarios", default="",
+                        help="comma-separated subset (default: all canonical scenarios)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced CI-smoke parameters instead of the standard "
+                             "bench parameters")
+    parser.add_argument("--update", action="store_true",
+                        help="append this run's records to the committed history")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="promote this run's records to the committed baseline "
+                             "(implies --update)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) when events/second regresses more than "
+                             "--tolerance below the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional regression for --check (default 0.2)")
+    parser.add_argument("--label", default="",
+                        help="free-form label stored on the records")
+    parser.add_argument("--out-dir", default=None,
+                        help="results directory (default benchmarks/results)")
+    args = parser.parse_args(argv)
+
+    if args.scenarios:
+        names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+        unknown = [name for name in names if name not in CANONICAL_SCENARIOS]
+        if unknown:
+            parser.error(f"unknown scenario(s) {unknown}; "
+                         f"choose from {sorted(CANONICAL_SCENARIOS)}")
+    else:
+        names = list(CANONICAL_SCENARIOS)
+
+    failures = []
+    print(f"{'scenario':<28} {'wall s':>8} {'events':>10} {'events/s':>12} "
+          f"{'sim s/s':>8} {'baseline e/s':>12} {'ratio':>7}")
+    for name in names:
+        scenario = CANONICAL_SCENARIOS[name]
+        _, record = measure(scenario.run, quick=args.quick)
+        verdict = check_against_baseline(name, record, tolerance=args.tolerance,
+                                         results_dir=args.out_dir)
+        if args.update or args.rebaseline:
+            record_measurement(name, record, source="module", label=args.label,
+                               set_baseline=args.rebaseline, results_dir=args.out_dir)
+        ratio = verdict["ratio"]
+        ratio_text = f"{ratio:>6.2f}x" if ratio is not None else f"{'-':>7}"
+        print(f"{name:<28} {record['wall_seconds']:>8.3f} {record['events']:>10,} "
+              f"{_format_eps(record['events_per_second'])} "
+              f"{record['sim_seconds_per_wall_second']:>8.1f} "
+              f"{_format_eps(verdict['baseline_eps'])} {ratio_text}")
+        if args.check and not verdict["ok"]:
+            failures.append(verdict)
+
+    for name in names:
+        history = load_history(name, results_dir=args.out_dir)["history"]
+        if len(history) >= 2:
+            first, last = history[0], history[-1]
+            if first.get("events_per_second"):
+                trend = last["events_per_second"] / first["events_per_second"]
+                print(f"trajectory {name}: {len(history)} records, "
+                      f"{first['events_per_second']:,.0f} -> "
+                      f"{last['events_per_second']:,.0f} events/s ({trend:.2f}x)")
+
+    if failures:
+        for verdict in failures:
+            print(f"REGRESSION {verdict['scenario']}: {verdict['current_eps']:,.0f} "
+                  f"events/s vs baseline {verdict['baseline_eps']:,.0f} "
+                  f"({verdict['ratio']:.2f}x, tolerance {1.0 - args.tolerance:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"bench check ok: {len(names)} scenario(s) within "
+              f"{args.tolerance:.0%} of the committed baseline")
+    return 0

@@ -1,0 +1,117 @@
+"""Reading, appending and regression-checking ``BENCH_<scenario>.json`` files.
+
+File layout (schema 1)::
+
+    {
+      "scenario": "fig09_udp_flooding",
+      "schema": 1,
+      "baseline": { <record> },      # committed reference for the CI gate
+      "history": [ <record>, ... ]   # trajectory, oldest first, capped
+    }
+
+A record is one measurement: wall-clock seconds, executed simulator events,
+events/second, simulated seconds and simulated-seconds per wall-second, plus
+``recorded_at`` (UTC ISO timestamp), ``source`` (``pytest`` or ``module``)
+and an optional free-form ``label``.
+
+The **baseline** is only ever moved explicitly (``--rebaseline`` or
+:func:`record_measurement` with ``set_baseline=True``); appending history
+never touches it, so a committed baseline survives any number of local bench
+runs and the regression gate always compares against the reviewed number.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from typing import Any, Dict, Optional
+
+#: Cap on stored history records; the oldest entries are dropped first.
+HISTORY_LIMIT = 100
+
+SCHEMA_VERSION = 1
+
+
+def default_results_dir() -> str:
+    """The committed results directory, overridable via ``BENCH_RESULTS_DIR``."""
+    override = os.environ.get("BENCH_RESULTS_DIR")
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(repo_root, "benchmarks", "results")
+
+
+def bench_path(scenario: str, results_dir: Optional[str] = None) -> str:
+    """Path of the ``BENCH_<scenario>.json`` file."""
+    return os.path.join(results_dir or default_results_dir(), f"BENCH_{scenario}.json")
+
+
+def load_history(scenario: str, results_dir: Optional[str] = None) -> Dict[str, Any]:
+    """The scenario's trajectory document (a fresh empty one if absent)."""
+    path = bench_path(scenario, results_dir)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return {"scenario": scenario, "schema": SCHEMA_VERSION,
+                "baseline": None, "history": []}
+    document.setdefault("scenario", scenario)
+    document.setdefault("schema", SCHEMA_VERSION)
+    document.setdefault("baseline", None)
+    document.setdefault("history", [])
+    return document
+
+
+def record_measurement(scenario: str, record: Dict[str, Any], *, source: str,
+                       label: str = "", set_baseline: bool = False,
+                       results_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Append ``record`` to the scenario's history (atomically) and return it.
+
+    ``set_baseline=True`` additionally promotes the record to the committed
+    baseline — the reference every later ``--check`` compares against.
+    """
+    stamped = dict(record)
+    stamped["recorded_at"] = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds")
+    stamped["source"] = source
+    if label:
+        stamped["label"] = label
+
+    document = load_history(scenario, results_dir)
+    document["history"].append(stamped)
+    document["history"] = document["history"][-HISTORY_LIMIT:]
+    if set_baseline or document.get("baseline") is None:
+        document["baseline"] = stamped
+
+    path = bench_path(scenario, results_dir)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return stamped
+
+
+def check_against_baseline(scenario: str, record: Dict[str, Any],
+                           tolerance: float = 0.2,
+                           results_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Compare a fresh record against the committed baseline.
+
+    Returns a verdict dict with ``ok`` (False only when the measured
+    events/second fell more than ``tolerance`` below the baseline), the two
+    rates and their ratio.  A scenario with no committed baseline passes
+    vacuously (``ratio`` is ``None``).
+    """
+    baseline = load_history(scenario, results_dir).get("baseline")
+    current = float(record.get("events_per_second") or 0.0)
+    if not baseline or not baseline.get("events_per_second"):
+        return {"scenario": scenario, "ok": True, "ratio": None,
+                "current_eps": current, "baseline_eps": None}
+    reference = float(baseline["events_per_second"])
+    ratio = current / reference if reference > 0 else None
+    ok = ratio is None or ratio >= (1.0 - tolerance)
+    return {"scenario": scenario, "ok": ok, "ratio": ratio,
+            "current_eps": current, "baseline_eps": reference}

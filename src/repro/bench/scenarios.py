@@ -1,0 +1,72 @@
+"""The canonical benchmark scenarios and their reduced parameter sets.
+
+One entry per tracked scenario, mirroring the reduced parameters the pytest
+benchmarks in ``benchmarks/`` use (the trajectory is only meaningful if every
+measurement runs the same workload).  ``quick`` parameters shrink the sweep
+further for CI smoke runs; events/second is throughput-normalised, so quick
+and standard records remain comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, NamedTuple
+
+#: Reduced duration shared with ``benchmarks/bench_common.BENCH_UDP_DURATION``.
+UDP_DURATION = 8.0
+
+
+class BenchScenario(NamedTuple):
+    """One canonical scenario: how to import it, and its parameter tiers."""
+
+    name: str
+    loader: Callable[[], Callable[..., Any]]
+    params: Dict[str, Any]
+    quick_params: Dict[str, Any]
+
+    def run(self, quick: bool = False) -> Any:
+        """Execute the scenario at the requested tier; returns its result."""
+        return self.loader()(**(self.quick_params if quick else self.params))
+
+
+def _fig09():
+    from repro.experiments import fig09_udp_flooding
+    return fig09_udp_flooding.run
+
+
+def _rt02():
+    from repro.experiments import rt02_overhead_scaling
+    return rt02_overhead_scaling.run
+
+
+def _table02():
+    from repro.experiments import table02_udp_unicast
+    return table02_udp_unicast.run
+
+
+CANONICAL_SCENARIOS: Dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BenchScenario(
+            name="fig09_udp_flooding",
+            loader=_fig09,
+            params={"rates_mbps": (1.3,), "flooding_intervals": (0.25, 1.0, 5.0),
+                    "duration": UDP_DURATION},
+            quick_params={"rates_mbps": (1.3,), "flooding_intervals": (0.25, 1.0),
+                          "duration": 3.0},
+        ),
+        BenchScenario(
+            name="rt02_overhead_scaling",
+            loader=_rt02,
+            params={"flow_counts": (1, 6), "speeds_mps": (2.0,), "duration": 8.0,
+                    "warmup": 3.0, "include_no_aggregation": False},
+            quick_params={"flow_counts": (1, 3), "speeds_mps": (2.0,), "duration": 5.0,
+                          "warmup": 2.0, "include_no_aggregation": False},
+        ),
+        BenchScenario(
+            name="table02_udp_unicast",
+            loader=_table02,
+            params={"rates_mbps": (0.65, 1.3), "duration": UDP_DURATION},
+            quick_params={"rates_mbps": (1.3,), "duration": 3.0},
+        ),
+    )
+}

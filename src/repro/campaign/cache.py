@@ -53,14 +53,29 @@ class ResultCache:
 
     def get(self, experiment_id: str, params: Mapping[str, Any], seed: int,
             code_version: str = "") -> Optional[Dict[str, Any]]:
-        """Cached ``ExperimentResult.to_dict()`` payload, or ``None`` on a miss."""
-        path = self._path(experiment_id, seed,
-                          job_key(experiment_id, params, seed, code_version))
+        """Cached ``ExperimentResult.to_dict()`` payload, or ``None`` on a miss.
+
+        The file name carries only the first 16 hex characters of the job
+        key, so two distinct jobs *can* collide on a path.  Before serving an
+        entry, the stored coordinates are re-hashed and compared against the
+        requested job's full key; a mismatch is a miss, never another job's
+        result.  (Stored params went through a JSON round-trip — tuples came
+        back as lists — but ``job_key`` canonicalises both spellings to the
+        same digest, so legitimate hits still verify.)
+        """
+        key = job_key(experiment_id, params, seed, code_version)
+        path = self._path(experiment_id, seed, key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
             result = entry["result"]
+            stored_key = job_key(
+                entry["experiment_id"], entry["params"], entry["seed"],
+                entry.get("code_version", ""))
         except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        if stored_key != key:
             self.misses += 1
             return None
         self.hits += 1

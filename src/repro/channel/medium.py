@@ -14,16 +14,25 @@ coordinate.  For stationary PHYs (the paper's entire evaluation) this
 degenerates to the static position, bit for bit.  Link-aware propagation
 models (per-link shadowing) are consulted through ``path_loss_between``; see
 :mod:`repro.channel.propagation`.
+
+Because the budget of a link is a pure function of (endpoint identities,
+endpoint positions, propagation epoch), the channel memoises it per link and
+revalidates the cached entry against the exact positions and the model's
+``cache_epoch`` on every use: stationary links hit the cache on every frame,
+while a link whose endpoint moved (or whose shadowing epoch rolled over)
+recomputes — so results are bit-for-bit identical with the memo on or off
+(``link_budget_memo=False`` disables it for A/B verification).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.channel.propagation import PropagationModel, distance_between, hydra_indoor_propagation
 from repro.errors import ConfigurationError
 from repro.phy.frame import PhyFrame
+from repro.sim.events import EventHandle
 from repro.sim.simulator import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -32,8 +41,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Speed of light in metres per second (propagation delay).
 SPEED_OF_LIGHT = 299_792_458.0
 
+#: Prune a receiver's delivery-handle list once it grows past this many
+#: entries (most are long since fired; pruning keeps unregister O(in-flight)).
+_HANDLE_PRUNE_THRESHOLD = 256
 
-@dataclass
+
+@dataclass(slots=True)
 class Transmission:
     """One frame in flight on the medium."""
 
@@ -58,6 +71,7 @@ class WirelessChannel:
         propagation: Optional[PropagationModel] = None,
         noise_floor_dbm: float = -94.0,
         propagation_delay_enabled: bool = True,
+        link_budget_memo: bool = True,
     ) -> None:
         self.sim = sim
         self.propagation = propagation or hydra_indoor_propagation()
@@ -68,7 +82,18 @@ class WirelessChannel:
         self.noise_floor_dbm = noise_floor_dbm
         self.propagation_delay_enabled = propagation_delay_enabled
         self._phys: List["Phy"] = []
-        self.active_transmissions: List[Transmission] = []
+        self._phy_ids: set = set()
+        # Pending begin/end-reception handles per registered receiver, so
+        # unregister() can cancel in-flight deliveries instead of letting a
+        # detached PHY keep receiving.
+        self._delivery_handles: Dict[int, List[EventHandle]] = {}
+        self._link_aware = hasattr(self.propagation, "path_loss_between")
+        self._cache_epoch = getattr(self.propagation, "cache_epoch", None)
+        # (id(sender), id(receiver)) -> (epoch, tx_pos, rx_pos, loss, distance)
+        self._budget_cache: Optional[Dict[Tuple[int, int], tuple]] = (
+            {} if link_budget_memo else None)
+        # One transmission per id for O(1) retirement.
+        self._active: Dict[int, Transmission] = {}
         # statistics
         self.total_transmissions = 0
         self.total_airtime = 0.0
@@ -78,13 +103,32 @@ class WirelessChannel:
     # ------------------------------------------------------------------
     def register(self, phy: "Phy") -> None:
         """Attach a PHY to the medium (idempotent)."""
-        if phy not in self._phys:
+        if id(phy) not in self._phy_ids:
             self._phys.append(phy)
+            self._phy_ids.add(id(phy))
+            self._delivery_handles[id(phy)] = []
 
     def unregister(self, phy: "Phy") -> None:
-        """Detach a PHY from the medium."""
-        if phy in self._phys:
-            self._phys.remove(phy)
+        """Detach a PHY from the medium.
+
+        Deliveries already scheduled for the PHY are cancelled and any
+        reception it has in progress is aborted, so a detached PHY never
+        hears the tail of a frame that was in flight when it left.
+        """
+        phy_id = id(phy)
+        if phy_id not in self._phy_ids:
+            return
+        self._phy_ids.discard(phy_id)
+        self._phys.remove(phy)
+        for handle in self._delivery_handles.pop(phy_id, ()):
+            handle.cancel()
+        if self._budget_cache is not None:
+            # id() values can be recycled once the PHY is garbage collected;
+            # purge its cache rows so a future PHY can never inherit them.
+            stale = [key for key in self._budget_cache if phy_id in key]
+            for key in stale:
+                del self._budget_cache[key]
+        phy.abort_receptions()
 
     @property
     def phys(self) -> List["Phy"]:
@@ -94,6 +138,35 @@ class WirelessChannel:
     # ------------------------------------------------------------------
     # Link budget helpers
     # ------------------------------------------------------------------
+    def _link_budget(self, sender: "Phy", receiver: "Phy", when: float) -> tuple:
+        """``(path_loss_db, distance_m)`` for one link at ``when``, memoised.
+
+        The cached entry is validated against the propagation epoch and the
+        *exact* endpoint positions, so it can only be served when recomputing
+        would produce the identical value: stationary PHYs return the same
+        position tuple every time (cheap identity compare), mobile PHYs fail
+        the equality check and recompute.
+        """
+        tx_position = sender.position_at(when)
+        rx_position = receiver.position_at(when)
+        epoch = 0 if self._cache_epoch is None else self._cache_epoch(when)
+        cache = self._budget_cache
+        if cache is not None:
+            key = (id(sender), id(receiver))
+            entry = cache.get(key)
+            if (entry is not None and entry[0] == epoch
+                    and entry[1] == tx_position and entry[2] == rx_position):
+                return entry[3], entry[4]
+        if self._link_aware:
+            loss = self.propagation.path_loss_between(
+                sender.name, receiver.name, tx_position, rx_position, when)
+        else:
+            loss = self.propagation.path_loss_db(tx_position, rx_position)
+        distance = distance_between(tx_position, rx_position)
+        if cache is not None:
+            cache[key] = (epoch, tx_position, rx_position, loss, distance)
+        return loss, distance
+
     def received_power_dbm(self, sender: "Phy", receiver: "Phy", tx_power_dbm: float,
                            time: Optional[float] = None) -> float:
         """Received power at ``receiver`` for a transmission by ``sender``.
@@ -102,13 +175,7 @@ class WirelessChannel:
         start of the transmission being budgeted).
         """
         when = self.sim.now if time is None else time
-        tx_position = sender.position_at(when)
-        rx_position = receiver.position_at(when)
-        if hasattr(self.propagation, "path_loss_between"):
-            loss = self.propagation.path_loss_between(
-                sender.name, receiver.name, tx_position, rx_position, when)
-        else:
-            loss = self.propagation.path_loss_db(tx_position, rx_position)
+        loss, _ = self._link_budget(sender, receiver, when)
         return tx_power_dbm - loss
 
     def link_snr_db(self, sender: "Phy", receiver: "Phy",
@@ -121,9 +188,8 @@ class WirelessChannel:
         """One-way propagation delay between two PHYs (at their positions now)."""
         if not self.propagation_delay_enabled:
             return 0.0
-        now = self.sim.now
-        return distance_between(sender.position_at(now),
-                                receiver.position_at(now)) / SPEED_OF_LIGHT
+        _, distance = self._link_budget(sender, receiver, self.sim.now)
+        return distance / SPEED_OF_LIGHT
 
     # ------------------------------------------------------------------
     # Transmission
@@ -131,42 +197,72 @@ class WirelessChannel:
     def broadcast(self, sender: "Phy", frame: PhyFrame, duration: float,
                   power_dbm: float) -> Transmission:
         """Deliver ``frame`` from ``sender`` to every other registered PHY."""
-        if sender not in self._phys:
+        if id(sender) not in self._phy_ids:
             raise ConfigurationError("transmitting PHY is not registered with the channel")
         if duration <= 0:
             raise ConfigurationError(f"transmission duration must be positive, got {duration}")
+        sim = self.sim
+        now = sim.now
+        self._prune_active(now)
         transmission = Transmission(
             sender=sender,
             frame=frame,
-            start_time=self.sim.now,
+            start_time=now,
             duration=duration,
             power_dbm=power_dbm,
         )
-        self.active_transmissions.append(transmission)
+        self._active[id(transmission)] = transmission
         self.total_transmissions += 1
         self.total_airtime += duration
-        self.sim.schedule(duration, self._retire_transmission, transmission,
-                          priority=Simulator.PRIORITY_PHY)
 
+        # Direct scheduler pushes: this loop schedules two events per
+        # receiver per frame, and the Simulator.schedule wrapper (which only
+        # adds a negative-delay check — delays here are >= 0 by construction)
+        # was a measurable slice of the event budget.
+        push = sim._scheduler.push
+        priority = Simulator.PRIORITY_PHY
+        delay_enabled = self.propagation_delay_enabled
+        delivery_handles = self._delivery_handles
         for receiver in self._phys:
             if receiver is sender:
                 continue
-            rx_power = self.received_power_dbm(sender, receiver, power_dbm)
-            delay = self.propagation_delay(sender, receiver)
-            self.sim.schedule(delay, receiver.begin_reception, transmission, rx_power,
-                              priority=Simulator.PRIORITY_PHY)
-            self.sim.schedule(delay + duration, receiver.end_reception, transmission,
-                              priority=Simulator.PRIORITY_PHY)
+            loss, distance = self._link_budget(sender, receiver, now)
+            rx_power = power_dbm - loss
+            delay = distance / SPEED_OF_LIGHT if delay_enabled else 0.0
+            handles = delivery_handles[id(receiver)]
+            handles.append(push(now + delay, receiver.begin_reception,
+                                (transmission, rx_power), priority))
+            handles.append(push(now + delay + duration, receiver.end_reception,
+                                (transmission,), priority))
+            if len(handles) > _HANDLE_PRUNE_THRESHOLD:
+                handles[:] = [h for h in handles if h.active]
         return transmission
 
-    def _retire_transmission(self, transmission: Transmission) -> None:
-        if transmission in self.active_transmissions:
-            self.active_transmissions.remove(transmission)
+    def _prune_active(self, now: float) -> None:
+        """Retire transmissions whose airtime has elapsed.
+
+        Retirement is lazy (on access) rather than event-driven: a dedicated
+        retire event per frame bought nothing — no protocol state depends on
+        it — and cost a full push/pop cycle per transmission.
+        """
+        active = self._active
+        if active:
+            expired = [key for key, t in active.items()
+                       if t.start_time + t.duration <= now]
+            for key in expired:
+                del active[key]
+
+    @property
+    def active_transmissions(self) -> List[Transmission]:
+        """Transmissions currently on the air."""
+        self._prune_active(self.sim.now)
+        return list(self._active.values())
 
     @property
     def busy(self) -> bool:
         """True while any transmission is on the air."""
-        return bool(self.active_transmissions)
+        self._prune_active(self.sim.now)
+        return bool(self._active)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<WirelessChannel phys={len(self._phys)} active={len(self.active_transmissions)}>"
+        return f"<WirelessChannel phys={len(self._phys)} active={len(self._active)}>"

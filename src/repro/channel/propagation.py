@@ -137,6 +137,19 @@ class LogNormalShadowing:
         self._streams = streams.fork("propagation.shadowing")
         self._offsets.clear()
 
+    def cache_epoch(self, time: float) -> int:
+        """Validity token for channel-side link-budget memoisation.
+
+        Within one epoch, ``path_loss_between`` is a pure function of the
+        endpoint positions, so the channel may serve a cached budget as long
+        as both the epoch and the positions are unchanged.  Each coherence
+        rollover yields a new token, forcing recomputation (and a fresh
+        shadowing draw).
+        """
+        if self.coherence_time is None:
+            return 0
+        return int(time // self.coherence_time)
+
     def _link_key(self, tx_key: str, rx_key: str) -> Tuple[str, str]:
         if self.symmetric and rx_key < tx_key:
             return (rx_key, tx_key)

@@ -72,6 +72,10 @@ class MacAddress:
         return hash(self._value)
 
     def __eq__(self, other: object) -> bool:
+        # Fast path: address-to-address comparison is the hot case (per-frame
+        # destination checks); coercion is only for int/str literals.
+        if type(other) is MacAddress:
+            return self._value == other._value
         if isinstance(other, (MacAddress, int, str)):
             try:
                 return self._value == MacAddress(other)._value  # type: ignore[arg-type]
@@ -80,6 +84,8 @@ class MacAddress:
         return NotImplemented
 
     def __lt__(self, other: "MacAddress") -> bool:
+        if type(other) is MacAddress:
+            return self._value < other._value
         return self._value < MacAddress(other)._value
 
 

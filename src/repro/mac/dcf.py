@@ -177,9 +177,11 @@ class AggregatingMac:
         if not accepted:
             self.stats.queue_drops += 1
             return False
-        self.sim.tracer.emit(self.name, "mac", "enqueue",
-                             queue="bcast" if use_broadcast_queue else "ucast",
-                             bytes=subframe.size_bytes)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "mac", "enqueue",
+                        queue="bcast" if use_broadcast_queue else "ucast",
+                        bytes=subframe.size_bytes)
         self._try_start_access()
         return True
 
@@ -296,7 +298,9 @@ class AggregatingMac:
         airtime = self.phy.send(frame)
         self.stats.record_control_frame("rts", airtime)
         self.state = MacState.WAIT_CTS
-        self.sim.tracer.emit(self.name, "mac", "rts", dst=str(rts.dst))
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "mac", "rts", dst=str(rts.dst))
 
     def _send_data_frame(self) -> None:
         if self._current is None:  # pragma: no cover - defensive
@@ -307,8 +311,10 @@ class AggregatingMac:
         self.stats.record_data_frame(self.sim.now, frame, self.phy.config.timing)
         if self.config.use_block_ack and frame.has_unicast:
             self.scoreboard.register(list(frame.unicast_subframes))
-        self.sim.tracer.emit(self.name, "mac", "data_tx",
-                             subframes=frame.subframe_count, bytes=frame.total_bytes)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "mac", "data_tx",
+                        subframes=frame.subframe_count, bytes=frame.total_bytes)
 
     # ------------------------------------------------------------------
     # PHY listener interface
@@ -459,7 +465,9 @@ class AggregatingMac:
         self._pending_retry = None
         self._flush_forced = False
         self.state = MacState.IDLE
-        self.sim.tracer.emit(self.name, "mac", "exchange_done", broadcast_only=broadcast_only)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "mac", "exchange_done", broadcast_only=broadcast_only)
         self._try_start_access()
 
     def _on_response_timeout(self) -> None:

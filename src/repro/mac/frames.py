@@ -54,10 +54,20 @@ class MacSubframe:
     retries: int = 0
     enqueued_at: float = 0.0
 
+    # Lazily-computed on-air size: a plain class attribute (no annotation, so
+    # not a dataclass field), shadowed per instance on first access; the
+    # wrapped packet's size never changes.
+    _size_bytes_cache = None
+
     @property
     def size_bytes(self) -> int:
         """On-air size of the subframe (header + payload + FCS + padding)."""
-        return max(self.packet.size_bytes + SUBFRAME_OVERHEAD_BYTES, MIN_SUBFRAME_BYTES)
+        size = self._size_bytes_cache
+        if size is None:
+            size = max(self.packet.size_bytes + SUBFRAME_OVERHEAD_BYTES,
+                       MIN_SUBFRAME_BYTES)
+            self._size_bytes_cache = size
+        return size
 
     @property
     def overhead_bytes(self) -> int:

@@ -119,10 +119,15 @@ class TransmitQueues:
         """
         taken: List[MacSubframe] = []
         remaining: Deque[MacSubframe] = deque()
-        while self._unicast:
-            subframe = self._unicast.popleft()
-            if (len(taken) < max_subframes and subframe.dst == destination
-                    and fits(subframe)):
+        unicast = self._unicast
+        while unicast:
+            if len(taken) >= max_subframes:
+                # Limit reached: nothing further can be taken, so splice the
+                # rest over wholesale instead of testing item by item.
+                remaining.extend(unicast)
+                break
+            subframe = unicast.popleft()
+            if subframe.dst == destination and fits(subframe):
                 taken.append(subframe)
             else:
                 remaining.append(subframe)

@@ -70,6 +70,10 @@ class IpAddress:
         return hash(self._value)
 
     def __eq__(self, other: object) -> bool:
+        # Fast path: address-to-address comparison is the hot case (routing
+        # tables, delivery checks); coercion is only for int/str literals.
+        if type(other) is IpAddress:
+            return self._value == other._value
         if isinstance(other, (IpAddress, int, str)):
             try:
                 return self._value == IpAddress(other)._value  # type: ignore[arg-type]
@@ -78,4 +82,6 @@ class IpAddress:
         return NotImplemented
 
     def __lt__(self, other: "IpAddress") -> bool:
+        if type(other) is IpAddress:
+            return self._value < other._value
         return self._value < IpAddress(other)._value

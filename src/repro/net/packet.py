@@ -100,6 +100,11 @@ class Packet:
             raise ValueError("payload_bytes must be non-negative")
         if self.tcp is not None and self.udp is not None:
             raise ValueError("a packet cannot carry both TCP and UDP headers")
+        # Sizes are fixed at construction (header objects are frozen and the
+        # payload size never changes), but queried once per hop per receiver;
+        # precompute instead of re-summing on each access.
+        self._size_bytes = (
+            self.ip.size_bytes + self.transport_header_bytes + self.payload_bytes)
 
     # ------------------------------------------------------------------
     # Sizes
@@ -116,7 +121,7 @@ class Packet:
     @property
     def size_bytes(self) -> int:
         """Total network-layer size: IP header + transport header + payload."""
-        return self.ip.size_bytes + self.transport_header_bytes + self.payload_bytes
+        return self._size_bytes
 
     # ------------------------------------------------------------------
     # Classification helpers

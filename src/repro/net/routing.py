@@ -69,9 +69,11 @@ class RoutingTable:
 
     def next_hop(self, destination: IpAddress) -> IpAddress:
         """Next hop towards ``destination`` (raises :class:`RoutingError` if none)."""
-        destination = IpAddress(destination)
-        if destination in self._routes:
-            return self._routes[destination]
+        if type(destination) is not IpAddress:
+            destination = IpAddress(destination)
+        found = self._routes.get(destination)
+        if found is not None:
+            return found
         if self._default is not None:
             return self._default
         raise RoutingError(f"no route to {destination}")
@@ -101,13 +103,14 @@ class NeighborTable:
 
     def resolve(self, ip: IpAddress) -> MacAddress:
         """MAC address of ``ip`` (raises :class:`RoutingError` when unknown)."""
-        ip = IpAddress(ip)
+        if type(ip) is not IpAddress:
+            ip = IpAddress(ip)
         if ip == BROADCAST_IP:
             return BROADCAST_MAC
-        try:
-            return self._entries[ip]
-        except KeyError:
-            raise RoutingError(f"no link-layer address known for {ip}") from None
+        found = self._entries.get(ip)
+        if found is None:
+            raise RoutingError(f"no link-layer address known for {ip}")
+        return found
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -66,7 +66,7 @@ class PhyConfig:
     capture_threshold_db: float = 10.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReceptionAttempt:
     """Book-keeping for one in-flight reception."""
 
@@ -112,6 +112,10 @@ class Phy:
         self._receptions: Dict[int, _ReceptionAttempt] = {}
         self._carrier_count = 0
         self._carrier_busy_reported = False
+        # Cached linear noise floor, revalidated against the channel's dBm
+        # setting on every delivery (10**x per frame per receiver adds up).
+        self._noise_cache_dbm: Optional[float] = None
+        self._noise_cache_mw = 0.0
         # statistics
         self.frames_sent = 0
         self.frames_received = 0
@@ -192,16 +196,21 @@ class Phy:
         for attempt in self._receptions.values():
             attempt.doomed = True
         self.channel.broadcast(self, frame, duration, self.config.tx_power_dbm)
-        self.sim.schedule(duration, self._finish_transmission, frame,
-                          priority=Simulator.PRIORITY_PHY)
-        self.sim.tracer.emit(self.name, "phy", "tx_start", kind=frame.kind.value,
-                             bytes=frame.total_bytes, duration=duration)
+        sim = self.sim
+        sim._scheduler.push(sim.now + duration, self._finish_transmission, (frame,),
+                            Simulator.PRIORITY_PHY)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "phy", "tx_start", kind=frame.kind.value,
+                        bytes=frame.total_bytes, duration=duration)
         return duration
 
     def _finish_transmission(self, frame: PhyFrame) -> None:
         self._transmitting = False
         self._current_tx_frame = None
-        self.sim.tracer.emit(self.name, "phy", "tx_end", kind=frame.kind.value)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "phy", "tx_end", kind=frame.kind.value)
         if self._listener is not None:
             self._listener.on_transmit_complete(frame)
         self._update_carrier()
@@ -237,9 +246,25 @@ class Phy:
         self._deliver(attempt)
         self._update_carrier()
 
+    def abort_receptions(self) -> None:
+        """Forget every reception in progress without delivering anything.
+
+        The channel calls this when the PHY is unregistered mid-flight: the
+        pending end-reception events are cancelled on the channel side, so the
+        attempts (and the carrier energy they contributed) must be dropped
+        here or the PHY would sense a busy medium forever.
+        """
+        self._receptions.clear()
+        self._carrier_count = 0
+        self._update_carrier()
+
     def _deliver(self, attempt: _ReceptionAttempt) -> None:
         frame = attempt.transmission.frame
-        noise_mw = 10.0 ** (self.channel.noise_floor_dbm / 10.0)
+        noise_dbm = self.channel.noise_floor_dbm
+        if noise_dbm != self._noise_cache_dbm:
+            self._noise_cache_dbm = noise_dbm
+            self._noise_cache_mw = 10.0 ** (noise_dbm / 10.0)
+        noise_mw = self._noise_cache_mw
         sinr_db = attempt.rx_power_dbm - 10.0 * math.log10(noise_mw + attempt.interference_mw)
         captured = True
         if attempt.interference_mw > 0.0:
@@ -267,8 +292,10 @@ class Phy:
         if collided:
             self.frames_collided += 1
         self.frames_received += 1
-        self.sim.tracer.emit(self.name, "phy", "rx_end", kind=frame.kind.value,
-                             snr=round(sinr_db, 1), collided=collided)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "phy", "rx_end", kind=frame.kind.value,
+                        snr=round(sinr_db, 1), collided=collided)
         if self._listener is not None and result.any_ok or self._listener is not None and collided:
             self._listener.on_frame_received(result)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.phy.rates import PhyRate
@@ -57,10 +57,24 @@ class ErrorModelConfig:
 
 
 class ErrorModel:
-    """Computes and samples per-subframe error probabilities."""
+    """Computes and samples per-subframe error probabilities.
+
+    ``subframe_error_probability`` is a pure function of its arguments (the
+    config is immutable in practice), and stationary scenarios evaluate it
+    with the same handful of (SNR, rate, size, offset) tuples millions of
+    times — once per subframe per receiver per frame — so the model memoises
+    the probability.  Sampling still draws from the caller's stream on every
+    call, so reproducibility is untouched: the cache changes *when math runs*,
+    never *which numbers come out*.
+    """
+
+    #: Drop the memo once it holds this many distinct argument tuples
+    #: (mobile/interference scenarios produce unbounded SNR values).
+    _CACHE_LIMIT = 8192
 
     def __init__(self, config: Optional[ErrorModelConfig] = None) -> None:
         self.config = config or ErrorModelConfig()
+        self._probability_cache: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     # Probabilities
@@ -94,10 +108,18 @@ class ErrorModel:
 
     def subframe_error_probability(self, snr_db: float, rate: PhyRate, size_bytes: int,
                                    end_offset_samples: float = 0.0) -> float:
-        """Combined probability that a subframe fails its CRC."""
+        """Combined probability that a subframe fails its CRC (memoised)."""
+        key = (snr_db, rate, size_bytes, end_offset_samples)
+        cached = self._probability_cache.get(key)
+        if cached is not None:
+            return cached
         p_noise = self.noise_error_probability(snr_db, rate, size_bytes)
         p_aging = self.aging_error_probability(end_offset_samples)
-        return 1.0 - (1.0 - p_noise) * (1.0 - p_aging)
+        probability = 1.0 - (1.0 - p_noise) * (1.0 - p_aging)
+        if len(self._probability_cache) >= self._CACHE_LIMIT:
+            self._probability_cache.clear()
+        self._probability_cache[key] = probability
+        return probability
 
     # ------------------------------------------------------------------
     # Sampling
@@ -105,7 +127,13 @@ class ErrorModel:
     def subframe_survives(self, rng: random.Random, snr_db: float, rate: PhyRate,
                           size_bytes: int, end_offset_samples: float = 0.0) -> bool:
         """Draw whether the subframe passes its CRC."""
-        p_error = self.subframe_error_probability(snr_db, rate, size_bytes, end_offset_samples)
+        # Inline cache probe (this runs once per subframe per receiver; the
+        # extra call into subframe_error_probability showed up in profiles).
+        p_error = self._probability_cache.get(
+            (snr_db, rate, size_bytes, end_offset_samples))
+        if p_error is None:
+            p_error = self.subframe_error_probability(
+                snr_db, rate, size_bytes, end_offset_samples)
         if p_error <= 0.0:
             return True
         if p_error >= 1.0:

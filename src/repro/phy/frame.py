@@ -37,7 +37,7 @@ class FrameKind(enum.Enum):
         return self is not FrameKind.DATA
 
 
-@dataclass
+@dataclass(slots=True)
 class PhyFrame:
     """A frame as transmitted on the air.
 
@@ -54,6 +54,9 @@ class PhyFrame:
     unicast_subframes: Tuple[object, ...] = ()
     control: Optional[object] = None
     sender: Optional[object] = None
+    #: Memoised ``(timing, broadcast_offsets, unicast_offsets)`` — every
+    #: receiver of the frame recomputes identical offsets otherwise.
+    _offsets_cache: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -150,7 +153,15 @@ class PhyFrame:
         portion is transmitted first (closer to the training sequences), so it
         is less exposed to channel aging — the reason the paper puts
         broadcasts ahead of unicasts (Section 4.2.3).
+
+        The result is memoised per timing config (validated by identity, so
+        the cache can never outlive the config object it was computed from):
+        offsets depend only on the frame layout, which is immutable once the
+        frame is on the air, yet every receiver needs them.
         """
+        cached = self._offsets_cache
+        if cached is not None and cached[0] is timing:
+            return cached[1], cached[2]
         broadcast_rate = self.broadcast_rate or self.unicast_rate
         broadcast_offsets = timing.subframe_sample_offsets(
             [sf.size_bytes for sf in self.broadcast_subframes], broadcast_rate
@@ -159,6 +170,7 @@ class PhyFrame:
         unicast_offsets = timing.subframe_sample_offsets(
             [sf.size_bytes for sf in self.unicast_subframes], self.unicast_rate, start
         )
+        self._offsets_cache = (timing, broadcast_offsets, unicast_offsets)
         return broadcast_offsets, unicast_offsets
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -170,7 +182,7 @@ class PhyFrame:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ReceptionResult:
     """Outcome of decoding a received :class:`PhyFrame`.
 

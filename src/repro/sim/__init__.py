@@ -12,6 +12,7 @@ streams (:class:`~repro.sim.randomness.RandomStreams`), a trace/logging hook
 from repro.sim.events import Event, EventHandle
 from repro.sim.scheduler import Scheduler
 from repro.sim.simulator import Simulator
+from repro.sim.telemetry import TELEMETRY, SimTelemetry
 from repro.sim.timer import Timer
 from repro.sim.randomness import RandomStreams
 from repro.sim.trace import TraceRecord, Tracer
@@ -22,6 +23,8 @@ __all__ = [
     "EventHandle",
     "Scheduler",
     "Simulator",
+    "SimTelemetry",
+    "TELEMETRY",
     "Timer",
     "RandomStreams",
     "Tracer",

@@ -1,15 +1,22 @@
 """Event objects used by the discrete-event scheduler.
 
-An :class:`Event` is an immutable record of *when* a callback should fire and
-with which arguments.  :class:`EventHandle` is the user-facing token returned
-by :meth:`repro.sim.simulator.Simulator.schedule`; it supports cancellation
-and introspection without exposing the scheduler internals.
+An :class:`Event` is a record of *when* a callback should fire and with which
+arguments.  :class:`EventHandle` is the user-facing token returned by
+:meth:`repro.sim.simulator.Simulator.schedule`; it supports cancellation and
+introspection without exposing the scheduler internals.
+
+Both classes use ``__slots__``: the simulator allocates one event per
+scheduled callback (hundreds of thousands per experiment), so per-instance
+dict overhead dominated allocation cost before the slots layout.  The
+scheduler's heap orders events through C-level tuple comparison of
+``(time, priority, sequence)`` keys (see :mod:`repro.sim.scheduler`);
+:meth:`Event.__lt__` implements the same ordering for any code that compares
+events directly.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Tuple
 
 
@@ -19,12 +26,12 @@ from typing import Any, Callable, Tuple
 _sequence = itertools.count()
 
 
-def next_sequence() -> int:
-    """Return the next global event sequence number."""
-    return next(_sequence)
+#: Return the next global event sequence number.  Bound directly to the
+#: counter's C-level ``__next__`` — this runs once per scheduled event, and a
+#: Python wrapper function doubled its cost.
+next_sequence = _sequence.__next__
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -32,17 +39,36 @@ class Event:
     arguments do not participate in the ordering.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    #: True once the scheduler has removed the event from its queue (the only
-    #: other way out is cancellation).  Cancelling a dequeued event must be a
-    #: no-op or the scheduler's live-event count goes negative.
-    dequeued: bool = field(compare=False, default=False)
-    fired: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "args",
+                 "cancelled", "dequeued", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        cancelled: bool = False,
+        dequeued: bool = False,
+        fired: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        #: True once cancelled; the scheduler will skip the event.
+        self.cancelled = cancelled
+        #: True once the scheduler has removed the event from its queue (the
+        #: only other way out is cancellation).  Cancelling a dequeued event
+        #: must be a no-op or the scheduler's live-event count goes negative.
+        self.dequeued = dequeued
+        self.fired = fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return ((self.time, self.priority, self.sequence)
+                < (other.time, other.priority, other.sequence))
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the scheduler will skip it."""
@@ -52,6 +78,10 @@ class Event:
         """Invoke the callback (the scheduler calls this, not user code)."""
         self.fired = True
         return self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Event t={self.time:.6f} prio={self.priority} {state}>"
 
 
 class EventHandle:

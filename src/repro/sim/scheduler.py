@@ -1,9 +1,18 @@
 """Binary-heap event scheduler.
 
-The scheduler is deliberately small: a heap of :class:`~repro.sim.events.Event`
-objects ordered by ``(time, priority, sequence)``.  Cancellation is lazy —
-cancelled events stay in the heap and are discarded when popped — which keeps
-both operations O(log n) without bookkeeping.
+The heap stores ``(time, priority, sequence, event)`` tuples, so heap
+sifting compares in C (floats/ints) and never calls a Python ``__lt__`` —
+``sequence`` is globally unique, which guarantees the :class:`Event` in the
+last slot is never reached by a comparison.
+
+Cancellation is lazy — cancelled events stay in the heap and are discarded
+when they surface — but no longer unbounded: restart-heavy workloads (TCP
+RTO backoff, HELLO jitter, AODV ring timeouts) cancel far more events than
+they pop, and before compaction the heap grew without limit.  The scheduler
+counts cancelled entries still buried in the heap and rebuilds the heap
+without them once they are the majority (and above a floor that keeps tiny
+heaps free of compaction overhead), bounding heap size at roughly twice the
+live-event count.
 """
 
 from __future__ import annotations
@@ -18,9 +27,15 @@ from repro.sim.events import Event, EventHandle, next_sequence
 class Scheduler:
     """Priority queue of pending simulation events."""
 
+    #: Compaction floor: never rebuild heaps with fewer buried cancellations.
+    COMPACT_MIN_CANCELLED = 64
+    #: Rebuild once cancelled entries make up at least half the heap.
+    COMPACT_FRACTION = 0.5
+
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._pending = 0
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
         """Number of *live* (not cancelled) events still queued."""
@@ -30,6 +45,16 @@ class Scheduler:
     def empty(self) -> bool:
         """True when no live events remain."""
         return self._pending == 0
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries, live *and* lazily-cancelled (introspection)."""
+        return len(self._heap)
+
+    @property
+    def cancelled_in_heap(self) -> int:
+        """Cancelled events still buried in the heap (introspection)."""
+        return self._cancelled_in_heap
 
     def push(
         self,
@@ -45,14 +70,11 @@ class Scheduler:
         """
         if not callable(callback):
             raise SchedulingError(f"callback must be callable, got {callback!r}")
-        event = Event(
-            time=float(time),
-            priority=int(priority),
-            sequence=next_sequence(),
-            callback=callback,
-            args=tuple(args),
-        )
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        priority = int(priority)
+        sequence = next_sequence()
+        event = Event(time, priority, sequence, callback, tuple(args))
+        heapq.heappush(self._heap, (time, priority, sequence, event))
         self._pending += 1
         return EventHandle(event, self)
 
@@ -62,23 +84,55 @@ class Scheduler:
         ``EventHandle.cancel`` routes here too, so the live-event count is
         decremented exactly once per cancellation regardless of the path.
         """
-        if handle.active:
-            handle._event.cancel()
-            self._pending -= 1
+        event = handle._event
+        if event.dequeued or event.cancelled:
+            return
+        event.cancelled = True
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        if (self._cancelled_in_heap >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled_in_heap
+                >= self.COMPACT_FRACTION * len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without the lazily-cancelled entries."""
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
         self._discard_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` when empty."""
         self._discard_cancelled()
         if not self._heap:
             return None
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[3]
+        event.dequeued = True
+        self._pending -= 1
+        return event
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Fused peek-and-pop for the run loop.
+
+        Returns the next live event, or ``None`` when the queue is empty *or*
+        the next live event lies strictly beyond ``until`` (in which case it
+        stays queued).
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+            self._cancelled_in_heap -= 1
+        if not heap or (until is not None and heap[0][0] > until):
+            return None
+        event = heappop(heap)[3]
         event.dequeued = True
         self._pending -= 1
         return event
@@ -90,11 +144,14 @@ class Scheduler:
         go inactive; cancelling such a handle afterwards is a no-op instead of
         driving the live-event count negative.
         """
-        for event in self._heap:
-            event.cancel()
+        for entry in self._heap:
+            entry[3].cancelled = True
         self._heap.clear()
         self._pending = 0
+        self._cancelled_in_heap = 0
 
     def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1

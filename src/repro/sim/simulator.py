@@ -14,6 +14,7 @@ from repro.errors import SimulationError
 from repro.sim.events import EventHandle
 from repro.sim.randomness import RandomStreams
 from repro.sim.scheduler import Scheduler
+from repro.sim.telemetry import TELEMETRY
 from repro.sim.trace import Tracer
 
 
@@ -114,30 +115,30 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed_this_run = 0
+        started_at = self._now
+        scheduler = self._scheduler
+        pop_next = scheduler.pop_next
         try:
             while not self._stopped:
-                next_time = self._scheduler.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = self._scheduler.pop()
-                if event is None:  # pragma: no cover - guarded by peek_time
+                event = pop_next(until)
+                if event is None:
+                    if until is not None and not scheduler.empty:
+                        # Horizon reached with live events still beyond it.
+                        self._now = until
                     break
                 self._now = event.time
-                event.fire()
+                event.fired = True
+                event.callback(*event.args)
                 self._events_processed += 1
                 processed_this_run += 1
                 if max_events is not None and processed_this_run >= max_events:
                     break
-            else:
-                pass
-            if until is not None and not self._stopped and self._scheduler.empty:
+            if until is not None and not self._stopped and scheduler.empty:
                 # Queue drained before the horizon: advance the clock to it.
                 self._now = max(self._now, until)
         finally:
             self._running = False
+            TELEMETRY.record_run(processed_this_run, self._now - started_at)
         return self._now
 
     def stop(self) -> None:

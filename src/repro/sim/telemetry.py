@@ -1,0 +1,47 @@
+"""Process-wide simulation throughput counters.
+
+The bench harness (:mod:`repro.bench`) needs to know how many events a
+benchmark executed and how much simulated time it covered, but the simulators
+involved are created deep inside the experiment runners.  Rather than thread a
+collector through every scenario builder, :meth:`repro.sim.simulator.Simulator.run`
+adds its per-run totals to one module-level accumulator on exit; harness code
+snapshots the accumulator before and after a measured call and subtracts.
+
+The accounting costs one attribute update per ``run()`` *call* (not per
+event), so it is always on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class SimTelemetry:
+    """Accumulated event/time totals across every :class:`Simulator` run."""
+
+    __slots__ = ("events", "sim_seconds", "runs")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.sim_seconds = 0.0
+        self.runs = 0
+
+    def record_run(self, events: int, sim_seconds: float) -> None:
+        """Add one ``Simulator.run()`` invocation's totals."""
+        self.events += events
+        self.sim_seconds += sim_seconds
+        self.runs += 1
+
+    def snapshot(self) -> Tuple[int, float, int]:
+        """Current ``(events, sim_seconds, runs)`` totals."""
+        return (self.events, self.sim_seconds, self.runs)
+
+    def reset(self) -> None:
+        """Zero the counters (unit tests)."""
+        self.events = 0
+        self.sim_seconds = 0.0
+        self.runs = 0
+
+
+#: The process-wide accumulator written by every simulator in this process.
+TELEMETRY = SimTelemetry()

@@ -52,8 +52,17 @@ class Timer:
 
     def start(self, delay: float) -> None:
         """(Re)arm the timer to fire ``delay`` seconds from now."""
-        self.cancel()
-        self._handle = self._sim.schedule(delay, self._fire, priority=self._priority)
+        sim = self._sim
+        handle = self._handle
+        if handle is not None:
+            sim.cancel(handle)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        # Push straight onto the scheduler: timers are restarted on nearly
+        # every frame (backoff, response timeouts), making this one of the
+        # hottest scheduling call sites.
+        self._handle = sim._scheduler.push(sim.now + delay, self._fire, (),
+                                           self._priority)
 
     def cancel(self) -> None:
         """Disarm the timer if it is running (idempotent)."""
@@ -129,5 +138,10 @@ class PeriodicTimer:
         # The callback may have stopped the timer (the flag, not the
         # underlying one-shot, records that) or restarted it itself; only
         # re-arm when neither happened.
-        if not self._stopped and not self._timer.running:
-            self._timer.start(self._period)
+        timer = self._timer
+        if not self._stopped and not timer.running:
+            # Direct re-arm: _fire already cleared the handle, so the cancel
+            # half of Timer.start is dead weight on this per-tick path.
+            sim = timer._sim
+            timer._handle = sim._scheduler.push(
+                sim.now + self._period, timer._fire, (), timer._priority)

@@ -1,0 +1,113 @@
+"""The BENCH_<scenario>.json trajectory files and the regression gate.
+
+The CI perf gate and every "this PR made it faster" claim rest on this
+module, so the file-handling rules get pinned directly: the baseline only
+moves explicitly, history is append-only and capped, and the check verdict
+uses the committed baseline, not the latest record.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import check_against_baseline, load_history, measure, record_measurement
+from repro.bench.history import HISTORY_LIMIT, bench_path
+
+
+def _record(eps: float) -> dict:
+    return {"wall_seconds": 1.0, "events": int(eps), "events_per_second": eps,
+            "simulated_seconds": 5.0, "sim_seconds_per_wall_second": 5.0}
+
+
+def test_first_record_becomes_the_baseline(tmp_path):
+    directory = str(tmp_path)
+    record_measurement("scn", _record(100.0), source="pytest", results_dir=directory)
+    document = load_history("scn", results_dir=directory)
+    assert document["baseline"]["events_per_second"] == 100.0
+    assert len(document["history"]) == 1
+
+
+def test_appending_history_never_moves_the_baseline(tmp_path):
+    directory = str(tmp_path)
+    record_measurement("scn", _record(100.0), source="pytest", results_dir=directory)
+    record_measurement("scn", _record(250.0), source="module", label="after opt",
+                       results_dir=directory)
+    document = load_history("scn", results_dir=directory)
+    assert document["baseline"]["events_per_second"] == 100.0
+    assert [entry["events_per_second"] for entry in document["history"]] == [100.0, 250.0]
+    assert document["history"][1]["label"] == "after opt"
+
+
+def test_rebaseline_promotes_the_new_record(tmp_path):
+    directory = str(tmp_path)
+    record_measurement("scn", _record(100.0), source="pytest", results_dir=directory)
+    record_measurement("scn", _record(250.0), source="module", set_baseline=True,
+                       results_dir=directory)
+    assert load_history("scn", results_dir=directory)["baseline"]["events_per_second"] == 250.0
+
+
+def test_history_is_capped_oldest_first(tmp_path):
+    directory = str(tmp_path)
+    for value in range(HISTORY_LIMIT + 10):
+        record_measurement("scn", _record(float(value)), source="pytest",
+                           results_dir=directory)
+    history = load_history("scn", results_dir=directory)["history"]
+    assert len(history) == HISTORY_LIMIT
+    assert history[0]["events_per_second"] == 10.0
+    # The baseline (the very first record) survives the cap.
+    assert load_history("scn", results_dir=directory)["baseline"]["events_per_second"] == 0.0
+
+
+def test_check_passes_within_tolerance_and_fails_beyond(tmp_path):
+    directory = str(tmp_path)
+    record_measurement("scn", _record(100.0), source="pytest", results_dir=directory)
+    ok = check_against_baseline("scn", _record(85.0), tolerance=0.2,
+                                results_dir=directory)
+    bad = check_against_baseline("scn", _record(75.0), tolerance=0.2,
+                                 results_dir=directory)
+    assert ok["ok"] and ok["ratio"] == 0.85
+    assert not bad["ok"] and bad["ratio"] == 0.75
+
+
+def test_check_compares_against_baseline_not_latest(tmp_path):
+    directory = str(tmp_path)
+    record_measurement("scn", _record(100.0), source="pytest", results_dir=directory)
+    record_measurement("scn", _record(400.0), source="module", results_dir=directory)
+    # 90 e/s would be a 4.4x regression vs the latest record but is within
+    # 20% of the committed baseline — the gate must use the baseline.
+    verdict = check_against_baseline("scn", _record(90.0), tolerance=0.2,
+                                     results_dir=directory)
+    assert verdict["ok"]
+
+
+def test_check_without_baseline_passes_vacuously(tmp_path):
+    verdict = check_against_baseline("absent", _record(50.0), results_dir=str(tmp_path))
+    assert verdict["ok"] and verdict["ratio"] is None and verdict["baseline_eps"] is None
+
+
+def test_corrupt_file_is_treated_as_fresh(tmp_path):
+    directory = str(tmp_path)
+    with open(bench_path("scn", results_dir=directory), "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    document = load_history("scn", results_dir=directory)
+    assert document == {"scenario": "scn", "schema": 1, "baseline": None, "history": []}
+    # ...and recording over it produces a valid document again.
+    record_measurement("scn", _record(10.0), source="pytest", results_dir=directory)
+    with open(bench_path("scn", results_dir=directory), encoding="utf-8") as handle:
+        assert json.load(handle)["baseline"]["events_per_second"] == 10.0
+
+
+def test_measure_counts_events_and_simulated_time():
+    from repro.sim.simulator import Simulator
+
+    def tiny_run():
+        sim = Simulator(seed=1)
+        for tick in range(50):
+            sim.schedule(0.1 * tick, lambda: None)
+        sim.run(until=10.0)
+
+    _, record = measure(tiny_run)
+    assert record["events"] >= 50
+    assert record["simulated_seconds"] >= 9.0
+    assert record["wall_seconds"] > 0.0
+    assert record["events_per_second"] > 0.0

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import shutil
 
 import pytest
 
@@ -73,6 +74,35 @@ def test_cache_ignores_corrupt_entries(tmp_path):
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(corrupt)
         assert cache.get("figX", params, 1) is None
+
+
+def test_cache_rejects_colliding_entry_with_wrong_coordinates(tmp_path):
+    """A filename collision must read as a miss, not serve another job's data.
+
+    File names embed only 16 hex characters of the job key, so two distinct
+    jobs can map to the same path.  Regression: ``get`` used to trust the
+    path alone and return whatever entry sat there.  Forge a collision by
+    writing job A's entry at job B's path and check B misses while a
+    coordinate-faithful entry still hits.
+    """
+    cache = ResultCache(str(tmp_path))
+    params_a = {"duration": 1.5}
+    params_b = {"duration": 99.0}
+    path_a = cache.put("figX", params_a, 1, _result_dict(0.5))
+    path_b = cache._path("figX", 1, job_key("figX", params_b, 1))
+    shutil.copyfile(path_a, path_b)  # the forged collision
+    assert cache.get("figX", params_b, 1) is None
+    assert cache.get("figX", params_a, 1) == _result_dict(0.5)
+
+
+def test_cache_verification_survives_tuple_list_round_trip(tmp_path):
+    """Tuples in params come back as JSON lists; that must still verify as a hit."""
+    cache = ResultCache(str(tmp_path))
+    params = {"rates_mbps": (0.65, 1.3), "duration": 1.5}
+    cache.put("figX", params, 3, _result_dict(0.7))
+    assert cache.get("figX", params, 3) == _result_dict(0.7)
+    assert cache.get("figX", {"rates_mbps": [0.65, 1.3], "duration": 1.5}, 3) \
+        == _result_dict(0.7)
 
 
 # ---------------------------------------------------------------------------

@@ -190,6 +190,78 @@ def test_unregistered_phy_cannot_transmit():
         channel.broadcast(phy, data_frame(), 0.01, 8.9)
 
 
+def test_unregister_mid_flight_stops_delivery():
+    """A PHY detached while a frame is in flight must never hear its tail.
+
+    Regression: unregister() used to leave the already-scheduled begin/end
+    reception events pending, so the detached PHY finished decoding frames on
+    a medium it was no longer attached to.
+    """
+    sim = Simulator(seed=20)
+    channel, tx, rx, _, rx_l = build_pair(sim)
+    duration = tx.send(data_frame())
+    # Past the propagation delay: begin_reception has fired, end is pending.
+    sim.run(until=duration / 2)
+    assert rx.state is PhyState.RECEIVING
+    channel.unregister(rx)
+    assert rx.state is PhyState.IDLE
+    assert not rx.carrier_busy
+    sim.run()
+    assert rx_l.received == []
+    assert rx.frames_received == 0
+    # The medium itself still retires the transmission normally.
+    assert not channel.busy
+    assert channel.total_transmissions == 1
+
+
+def test_unregister_before_arrival_cancels_both_delivery_events():
+    sim = Simulator(seed=21)
+    channel, tx, rx, _, rx_l = build_pair(sim)
+    tx.send(data_frame())
+    # Not run yet: even begin_reception is still pending.
+    channel.unregister(rx)
+    sim.run()
+    assert rx_l.received == []
+    assert rx.frames_received == 0
+    assert rx.state is PhyState.IDLE
+
+
+def test_unregister_leaves_other_receivers_untouched():
+    sim = Simulator(seed=22)
+    channel = WirelessChannel(sim)
+    tx = Phy(sim, channel, position=(0.0, 0.0), name="tx")
+    leaver = Phy(sim, channel, position=(2.5, 0.0), name="leaver")
+    stayer = Phy(sim, channel, position=(0.0, 2.5), name="stayer")
+    stayer_l = RecordingListener()
+    stayer.attach_listener(stayer_l)
+    duration = tx.send(data_frame())
+    sim.run(until=duration / 2)
+    channel.unregister(leaver)
+    sim.run()
+    assert len(stayer_l.received) == 1
+    assert stayer_l.received[0].all_unicast_ok
+    assert leaver.frames_received == 0
+
+
+def test_link_budget_memo_matches_uncached_channel():
+    """The per-link budget memo must be invisible in the numbers."""
+    sim = Simulator(seed=23)
+    observed = {}
+    for memo in (True, False):
+        channel = WirelessChannel(sim, link_budget_memo=memo)
+        a = Phy(sim, channel, position=(0.0, 0.0), name="a")
+        b = Phy(sim, channel, position=(2.5, 0.0), name="b")
+        # Twice: the second call exercises the cache-hit path.
+        first = channel.received_power_dbm(a, b, 8.9)
+        assert channel.received_power_dbm(a, b, 8.9) == first
+        # Moving an endpoint invalidates via the position equality check.
+        b.position = (5.0, 0.0)
+        moved = channel.received_power_dbm(a, b, 8.9)
+        assert moved < first
+        observed[memo] = (first, moved)
+    assert observed[True] == observed[False]
+
+
 def test_propagation_models_monotone_in_distance():
     log_model = LogDistancePathLoss()
     near = log_model.path_loss_db((0, 0), (1, 0))

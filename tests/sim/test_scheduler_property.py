@@ -159,3 +159,74 @@ def test_scheduler_matches_reference_model(seed):
             break
         assert (event.time, event.priority) == expected[:2]
         assert event.args[0] is expected[3]
+
+
+# ---------------------------------------------------------------------------
+# Heap compaction: cancelled events must not accumulate unboundedly
+# ---------------------------------------------------------------------------
+
+def test_restart_heavy_workload_keeps_heap_bounded():
+    # A restarted timer = push + cancel of the previous expiration.  Before
+    # compaction every cancelled event stayed buried until its (ever later)
+    # time surfaced, so frequent restarts grew the heap without limit.
+    sched = Scheduler()
+    handle = sched.push(1.0, lambda: None)
+    for restart in range(2, 50_002):
+        new_handle = sched.push(float(restart), lambda: None)
+        sched.cancel(handle)
+        handle = new_handle
+    assert len(sched) == 1
+    # Bound: live events plus at most the compaction threshold's worth of
+    # cancelled stragglers (the fraction only bites above the floor).
+    assert sched.heap_size <= 2 * Scheduler.COMPACT_MIN_CANCELLED + 2
+    assert sched.cancelled_in_heap <= sched.heap_size
+
+
+def test_many_timers_restarting_stays_bounded_and_pops_in_order():
+    # Interleaved RTO/HELLO-style timers: 32 logical timers each restarted
+    # hundreds of times, then everything drains in exact (time, priority,
+    # FIFO) order.
+    rng = random.Random(11)
+    sched = Scheduler()
+    model = _ReferenceModel()
+    timers = {}
+    push_index = 0
+    for _ in range(8_000):
+        slot = rng.randrange(32)
+        if slot in timers:
+            old_handle, old_token = timers.pop(slot)
+            sched.cancel(old_handle)
+            model.remove(old_token)
+        time = float(rng.randrange(1, 10_000))
+        token = object()
+        timers[slot] = (sched.push(time, lambda _: None, args=(token,)), token)
+        model.push(time, 0, push_index, token)
+        push_index += 1
+        assert len(sched) == len(model)
+        assert sched.heap_size <= max(
+            2 * len(model), 2 * Scheduler.COMPACT_MIN_CANCELLED + len(model))
+    while True:
+        event = sched.pop()
+        expected = model.pop_expected()
+        if event is None:
+            assert expected is None
+            break
+        assert event.time == expected[0]
+        assert event.args[0] is expected[3]
+
+
+def test_compaction_preserves_handle_semantics():
+    sched = Scheduler()
+    keep = sched.push(5.0, lambda: None)
+    victims = [sched.push(float(i + 10), lambda: None) for i in range(200)]
+    for victim in victims:
+        victim.cancel()  # direct handle path routes through the scheduler
+    assert len(sched) == 1
+    assert sched.heap_size < 200  # compaction ran
+    for victim in victims:
+        assert not victim.active
+        sched.cancel(victim)  # still a no-op after compaction
+    assert len(sched) == 1
+    assert keep.active
+    assert sched.pop().time == 5.0
+    assert sched.pop() is None
