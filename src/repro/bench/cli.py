@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro.bench import check_against_baseline, load_history, measure, record_measurement
 from repro.bench.scenarios import CANONICAL_SCENARIOS
+from repro.obs.session import observe
 
 
 def _format_eps(value: Optional[float]) -> str:
@@ -47,7 +48,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="free-form label stored on the records")
     parser.add_argument("--out-dir", default=None,
                         help="results directory (default benchmarks/results)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each scenario under the hot-path profiler and "
+                             "print a 'where time goes' table per scenario "
+                             "(profiled numbers are not comparable to the "
+                             "baseline, so --update/--rebaseline/--check are "
+                             "rejected)")
     args = parser.parse_args(argv)
+
+    if args.profile and (args.update or args.rebaseline or args.check):
+        parser.error("--profile adds measurement overhead; it cannot be "
+                     "combined with --update, --rebaseline or --check")
 
     if args.scenarios:
         names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
@@ -59,11 +70,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = list(CANONICAL_SCENARIOS)
 
     failures = []
+    profiles = []
     print(f"{'scenario':<28} {'wall s':>8} {'events':>10} {'events/s':>12} "
           f"{'sim s/s':>8} {'baseline e/s':>12} {'ratio':>7}")
     for name in names:
         scenario = CANONICAL_SCENARIOS[name]
-        _, record = measure(scenario.run, quick=args.quick)
+        if args.profile:
+            with observe(profile=True) as session:
+                _, record = measure(scenario.run, quick=args.quick)
+            profiles.append((name, session.profiler))
+        else:
+            _, record = measure(scenario.run, quick=args.quick)
         verdict = check_against_baseline(name, record, tolerance=args.tolerance,
                                          results_dir=args.out_dir)
         if args.update or args.rebaseline:
@@ -77,6 +94,11 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{_format_eps(verdict['baseline_eps'])} {ratio_text}")
         if args.check and not verdict["ok"]:
             failures.append(verdict)
+
+    for name, profiler in profiles:
+        print()
+        print(f"=== {name} ===")
+        print(profiler.to_text())
 
     for name in names:
         history = load_history(name, results_dir=args.out_dir)["history"]

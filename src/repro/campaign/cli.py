@@ -14,6 +14,7 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.registry import get_registry
 from repro.campaign.runner import CampaignOutcome, CampaignRunner
 from repro.errors import ReproError
+from repro.obs.progress import ProgressReporter
 from repro.stats.svg import write_svg
 
 DEFAULT_CACHE_DIR = ".campaign-cache"
@@ -34,12 +35,19 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
 
 
 def _build_runner(args: argparse.Namespace) -> CampaignRunner:
-    """Runner configured from the shared run/run-all flags."""
+    """Runner configured from the shared run/run-all flags.
+
+    Progress streams through a :class:`ProgressReporter` observer: one line
+    per job start/finish with a running counter, per-job events/s from the
+    worker's telemetry, and an ETA once a job has completed.
+    """
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    reporter = ProgressReporter(
+        emit=lambda line: print(f"  {line}", flush=True), workers=args.jobs)
     return CampaignRunner(
         jobs=args.jobs, cache=cache,
         timeout=args.timeout if args.timeout > 0 else None,
-        progress=lambda line: print(f"  {line}", flush=True))
+        observer=reporter)
 
 
 def _seed_list(args: argparse.Namespace) -> List[int]:
@@ -77,8 +85,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     print()
     print(outcome.aggregate.to_text())
+    print()
+    print(runner.observer.summary_line())
     if runner.cache is not None:
-        print()
         print(runner.cache.stats_line)
     out_path = args.out or f"campaign_{args.experiment_id}.json"
     _write_results(out_path, outcome.to_dict())
@@ -135,6 +144,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         if args.out_dir:
             _write_results(os.path.join(args.out_dir, f"campaign_{experiment_id}.json"),
                            outcome.to_dict())
+    print(runner.observer.summary_line())
     if runner.cache is not None:
         print(runner.cache.stats_line)
     if failures:

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.campaign.cache import ResultCache, job_key
 from repro.campaign.registry import get_registry
 from repro.errors import ExperimentError
+from repro.sim.telemetry import TELEMETRY
 from repro.stats.aggregate import aggregate_experiment_results
 from repro.stats.results import ExperimentResult
 
@@ -54,6 +55,11 @@ class JobOutcome:
     result: Optional[ExperimentResult] = None
     error: str = ""
     elapsed: float = 0.0
+    #: Simulator telemetry measured inside the executing process (zero for
+    #: cached/deduped/failed jobs): events processed and simulated seconds
+    #: covered.  Progress reporting derives per-job events/s from these.
+    events: int = 0
+    sim_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -110,11 +116,21 @@ def execute_job(experiment_id: str, params: Mapping[str, Any], seed: int) -> Dic
 
 
 def _timed_execute_job(experiment_id: str, params: Mapping[str, Any],
-                       seed: int) -> Tuple[float, Dict[str, Any]]:
-    """Worker wrapper measuring the job's own wall time inside the process."""
+                       seed: int) -> Tuple[float, Dict[str, Any],
+                                           Tuple[int, float, int]]:
+    """Worker wrapper measuring wall time and telemetry inside the process.
+
+    Returns ``(elapsed, result_dict, (events, sim_seconds, runs))``.  The
+    telemetry delta is measured against the *worker's* process-wide
+    accumulator, which dies with the worker — returning it is the only way
+    the parent can credit pool jobs to its own totals.
+    """
     started = time.monotonic()
+    events0, sim0, runs0 = TELEMETRY.snapshot()
     result_dict = execute_job(experiment_id, params, seed)
-    return time.monotonic() - started, result_dict
+    events1, sim1, runs1 = TELEMETRY.snapshot()
+    return (time.monotonic() - started, result_dict,
+            (events1 - events0, sim1 - sim0, runs1 - runs0))
 
 
 ProgressCallback = Callable[[str], None]
@@ -137,17 +153,31 @@ class CampaignRunner:
         its remaining workers instead of joining them.
     progress:
         Callback invoked with one line per finished job.
+    observer:
+        Object with any of ``batch_started(batch)``, ``job_started(job)``,
+        ``job_finished(outcome)`` — invoked from the coordinating process as
+        jobs are submitted and complete (see
+        :class:`~repro.obs.progress.ProgressReporter`).  Missing methods are
+        skipped; the legacy string ``progress`` callback still fires.
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 observer: Optional[Any] = None) -> None:
         if jobs < 1:
             raise ExperimentError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
         self.progress = progress or (lambda message: None)
+        self.observer = observer
+
+    def _notify(self, method: str, *args: Any) -> None:
+        if self.observer is not None:
+            callback = getattr(self.observer, method, None)
+            if callback is not None:
+                callback(*args)
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -160,6 +190,7 @@ class CampaignRunner:
         outcome with status ``"deduped"`` — duplicate submissions cost one
         execution, not N.
         """
+        self._notify("batch_started", batch)
         outcomes: Dict[int, JobOutcome] = {}
         pending: List[int] = []
         primary_for_key: Dict[str, int] = {}
@@ -179,6 +210,7 @@ class CampaignRunner:
                     job=job, status="cached",
                     result=ExperimentResult.from_dict(cached))
                 self.progress(f"{job.describe()}: cached")
+                self._notify("job_finished", outcomes[index])
             else:
                 pending.append(index)
 
@@ -197,45 +229,57 @@ class CampaignRunner:
                 result=primary.result, error=primary.error)
             self.progress(f"{batch[index].describe()}: deduped "
                           f"(same coordinates as job #{primary_index})")
+            self._notify("job_finished", outcomes[index])
         return [outcomes[index] for index in range(len(batch))]
 
     def _finish(self, index: int, job: CampaignJob, result_dict: Dict[str, Any],
-                elapsed: float, outcomes: Dict[int, JobOutcome]) -> None:
+                elapsed: float, outcomes: Dict[int, JobOutcome],
+                telemetry: Tuple[int, float, int] = (0, 0.0, 0)) -> None:
         if self.cache is not None:
             self.cache.put(job.experiment_id, job.params, job.seed, result_dict,
                            job.code_version)
         outcomes[index] = JobOutcome(
             job=job, status="ran",
-            result=ExperimentResult.from_dict(result_dict), elapsed=elapsed)
+            result=ExperimentResult.from_dict(result_dict), elapsed=elapsed,
+            events=telemetry[0], sim_seconds=telemetry[1])
         self.progress(f"{job.describe()}: done in {elapsed:.2f}s")
+        self._notify("job_finished", outcomes[index])
 
     def _fail(self, index: int, job: CampaignJob, status: str, error: str,
               outcomes: Dict[int, JobOutcome]) -> None:
         outcomes[index] = JobOutcome(job=job, status=status, error=error)
         self.progress(f"{job.describe()}: {status} ({error.splitlines()[-1] if error else status})")
+        self._notify("job_finished", outcomes[index])
 
     def _run_inline(self, batch: Sequence[CampaignJob], pending: Sequence[int],
                     outcomes: Dict[int, JobOutcome]) -> None:
         for index in pending:
             job = batch[index]
+            self._notify("job_started", job)
             started = time.monotonic()
+            # Inline jobs already land in this process's TELEMETRY; the delta
+            # is measured for the outcome only, never re-recorded.
+            events0, sim0, _ = TELEMETRY.snapshot()
             try:
                 result_dict = execute_job(job.experiment_id, job.params, job.seed)
             except Exception:  # noqa: BLE001 - report, don't crash the batch
                 self._fail(index, job, "error", traceback.format_exc(), outcomes)
             else:
-                self._finish(index, job, result_dict, time.monotonic() - started, outcomes)
+                events1, sim1, _ = TELEMETRY.snapshot()
+                self._finish(index, job, result_dict, time.monotonic() - started,
+                             outcomes, (events1 - events0, sim1 - sim0, 0))
 
     def _run_pool(self, batch: Sequence[CampaignJob], pending: Sequence[int],
                   outcomes: Dict[int, JobOutcome]) -> None:
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs)
         timed_out = False
         try:
-            futures = {
-                index: pool.submit(_timed_execute_job, batch[index].experiment_id,
-                                   batch[index].params, batch[index].seed)
-                for index in pending
-            }
+            futures = {}
+            for index in pending:
+                futures[index] = pool.submit(
+                    _timed_execute_job, batch[index].experiment_id,
+                    batch[index].params, batch[index].seed)
+                self._notify("job_started", batch[index])
             for index, future in futures.items():
                 job = batch[index]
                 if timed_out and not future.done():
@@ -247,7 +291,7 @@ class CampaignRunner:
                                "batch aborted after an earlier job timeout", outcomes)
                     continue
                 try:
-                    elapsed, result_dict = future.result(timeout=self.timeout)
+                    elapsed, result_dict, telemetry = future.result(timeout=self.timeout)
                 except concurrent.futures.TimeoutError:
                     # On Python 3.11+ this aliases builtin TimeoutError, so a
                     # job *raising* TimeoutError lands here too; a completed
@@ -262,7 +306,12 @@ class CampaignRunner:
                 except Exception:  # noqa: BLE001 - report, don't crash the batch
                     self._fail(index, job, "error", traceback.format_exc(), outcomes)
                 else:
-                    self._finish(index, job, result_dict, elapsed, outcomes)
+                    # The worker's accumulator dies with the pool; credit its
+                    # totals to the parent so campaign-wide telemetry is
+                    # complete regardless of --jobs.
+                    TELEMETRY.record_remote(*telemetry)
+                    self._finish(index, job, result_dict, elapsed, outcomes,
+                                 telemetry)
         finally:
             if timed_out:
                 # future.cancel() cannot stop an already-running task, and a

@@ -97,6 +97,8 @@ class WirelessChannel:
         # statistics
         self.total_transmissions = 0
         self.total_airtime = 0.0
+        self._metrics = sim.metrics
+        sim.metrics.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     # Registration
@@ -214,6 +216,12 @@ class WirelessChannel:
         self._active[id(transmission)] = transmission
         self.total_transmissions += 1
         self.total_airtime += duration
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.inc("channel.transmissions", node=sender.name,
+                        kind=frame.kind.value)
+            metrics.observe("channel.airtime_ms", duration * 1e3,
+                            node=sender.name)
 
         # Direct scheduler pushes: this loop schedules two events per
         # receiver per frame, and the Simulator.schedule wrapper (which only
@@ -237,6 +245,12 @@ class WirelessChannel:
             if len(handles) > _HANDLE_PRUNE_THRESHOLD:
                 handles[:] = [h for h in handles if h.active]
         return transmission
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: medium-wide totals as gauges."""
+        registry.set_gauge("channel.total_transmissions", self.total_transmissions)
+        registry.set_gauge("channel.total_airtime_s", self.total_airtime)
+        registry.set_gauge("channel.registered_phys", len(self._phys))
 
     def _prune_active(self, now: float) -> None:
         """Retire transmissions whose airtime has elapsed.

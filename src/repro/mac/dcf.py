@@ -133,6 +133,8 @@ class AggregatingMac:
                                   priority=Simulator.PRIORITY_MAC, name=f"{self.name}.flush")
 
         self._receive_callback: Optional[ReceiveCallback] = None
+        self._metrics = sim.metrics
+        sim.metrics.register_collector(self._collect_metrics)
         phy.attach_listener(self)
 
     # ------------------------------------------------------------------
@@ -174,14 +176,20 @@ class AggregatingMac:
             accepted = self.queues.enqueue_broadcast(subframe)
         else:
             accepted = self.queues.enqueue_unicast(subframe)
+        metrics = self._metrics
         if not accepted:
             self.stats.queue_drops += 1
+            if metrics.enabled:
+                metrics.inc("mac.queue_drops", node=self.name)
             return False
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.emit(self.name, "mac", "enqueue",
                         queue="bcast" if use_broadcast_queue else "ucast",
                         bytes=subframe.size_bytes)
+        if metrics.enabled:
+            metrics.inc("mac.enqueued", node=self.name,
+                        queue="bcast" if use_broadcast_queue else "ucast")
         self._try_start_access()
         return True
 
@@ -458,6 +466,7 @@ class AggregatingMac:
     # Exchange completion
     # ------------------------------------------------------------------
     def _complete_success(self, broadcast_only: bool = False) -> None:
+        retries = self._retry_count
         self.backoff.on_success()
         self.rate_controller.on_success()
         self._retry_count = 0
@@ -468,6 +477,10 @@ class AggregatingMac:
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.emit(self.name, "mac", "exchange_done", broadcast_only=broadcast_only)
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.inc("mac.exchanges", node=self.name, outcome="success")
+            metrics.observe("mac.exchange_retries", retries, node=self.name)
         self._try_start_access()
 
     def _on_response_timeout(self) -> None:
@@ -510,13 +523,24 @@ class AggregatingMac:
 
         self._current = None
         self.state = MacState.IDLE
-        self.sim.tracer.emit(self.name, "mac", "exchange_failed", retries=self._retry_count,
-                             data_sent=data_was_sent)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(self.name, "mac", "exchange_failed", retries=self._retry_count,
+                        data_sent=data_was_sent)
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.inc("mac.exchanges", node=self.name, outcome="failure")
         self._try_start_access()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: the MacStatistics summary as gauges."""
+        for key, value in self.stats.summary().items():
+            if isinstance(value, (int, float)):
+                registry.set_gauge(f"mac.{key}", value, node=self.name)
+
     @property
     def idle(self) -> bool:
         """True when the MAC has nothing queued and no exchange in progress."""

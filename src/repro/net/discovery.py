@@ -130,6 +130,8 @@ class NeighborDiscovery:
         self.hellos_received = 0
         self.neighbor_up_events = 0
         self.neighbor_down_events = 0
+        self._metrics = sim.metrics
+        sim.metrics.register_collector(self._collect_metrics)
         network.register_handler(HELLO_PROTOCOL, self._on_hello)
 
     # ------------------------------------------------------------------
@@ -230,6 +232,9 @@ class NeighborDiscovery:
             self._entries[ip] = entry
             self.neighbor_up_events += 1
             self.sim.tracer.emit(self.name, "discovery", "neighbor_up", ip=str(ip))
+            if self._metrics.enabled:
+                self._metrics.inc("discovery.neighbor_events",
+                                  node=self.name, transition="up")
             for callback in list(self._up_callbacks):
                 callback(ip)
         else:
@@ -254,9 +259,23 @@ class NeighborDiscovery:
             del self._entries[ip]
             self.neighbor_down_events += 1
             self.sim.tracer.emit(self.name, "discovery", "neighbor_down", ip=str(ip))
+            if self._metrics.enabled:
+                self._metrics.inc("discovery.neighbor_events",
+                                  node=self.name, transition="down")
             for callback in list(self._down_callbacks):
                 callback(ip)
         self._rearm_expiry()
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: HELLO and neighbor totals as gauges."""
+        registry.set_gauge("discovery.hellos_sent", self.hellos_sent, node=self.name)
+        registry.set_gauge("discovery.hellos_received", self.hellos_received,
+                           node=self.name)
+        registry.set_gauge("discovery.neighbors", len(self._entries), node=self.name)
+        registry.set_gauge("discovery.neighbor_up_events", self.neighbor_up_events,
+                           node=self.name)
+        registry.set_gauge("discovery.neighbor_down_events",
+                           self.neighbor_down_events, node=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NeighborDiscovery {self.name} neighbors={len(self._entries)}>"

@@ -243,6 +243,8 @@ class DsdvRouter:
         self.entries_advertised = 0
         self.route_changes = 0
         self.route_breaks = 0
+        self._metrics = sim.metrics
+        sim.metrics.register_collector(self._collect_metrics)
         network.register_handler(DSDV_PROTOCOL, self._on_update)
 
     # ------------------------------------------------------------------
@@ -292,6 +294,9 @@ class DsdvRouter:
         self.entries_advertised += len(routes)
         self.sim.tracer.emit(self.name, "dsdv", "update_tx",
                              entries=len(routes), triggered=triggered)
+        if self._metrics.enabled:
+            self._metrics.inc("dsdv.updates", node=self.name,
+                              kind="triggered" if triggered else "periodic")
         self.network.send(packet)
 
     def _on_periodic(self) -> None:
@@ -438,6 +443,12 @@ class DsdvRouter:
             "neighbors": len(self.discovery),
             "hellos_sent": self.discovery.hellos_sent,
         }
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: the router summary as per-node gauges."""
+        for key, value in self.summary().items():
+            if isinstance(value, (int, float)):
+                registry.set_gauge(f"dsdv.{key}", value, node=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<DsdvRouter {self.name} routes={len(self.table)} "

@@ -41,6 +41,12 @@ class FloodingSource:
         self._timer = PeriodicTimer(sim, interval, self._emit,
                                     priority=Simulator.PRIORITY_APP, name=self.name)
         self.packets_sent = 0
+        sim.metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: generator output as a per-source gauge."""
+        registry.set_gauge("flooding.packets_sent", self.packets_sent,
+                           node=self.name)
 
     def start(self, initial_delay: Optional[float] = None) -> None:
         """Begin flooding; the first packet is jittered to desynchronise nodes."""

@@ -216,6 +216,8 @@ class AodvRouter:
         self.route_changes = 0
         self.route_breaks = 0
         self.route_expirations = 0
+        self._metrics = sim.metrics
+        sim.metrics.register_collector(self._collect_metrics)
         network.register_handler(AODV_PROTOCOL, self._on_control)
         network.set_no_route_handler(self._on_no_route)
         network.set_forward_observer(self._on_data_forwarded)
@@ -331,6 +333,8 @@ class AodvRouter:
         self.sim.tracer.emit(self.name, "aodv", "rreq_tx",
                              dest=str(state.destination), ttl=state.ttl,
                              attempt=state.attempts)
+        if self._metrics.enabled:
+            self._metrics.inc("aodv.control_tx", node=self.name, kind="rreq")
         self.network.send(packet)
         state.timer.start(self.config.ring_timeout_per_ttl * state.ttl)
 
@@ -667,6 +671,12 @@ class AodvRouter:
             "neighbors": len(self.discovery),
             "hellos_sent": self.discovery.hellos_sent,
         }
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: the router summary as per-node gauges."""
+        for key, value in self.summary().items():
+            if isinstance(value, (int, float)):
+                registry.set_gauge(f"aodv.{key}", value, node=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<AodvRouter {self.name} routes={len(self.table)} "

@@ -147,7 +147,16 @@ class ForwardingEngine:
         self._handlers: Dict[str, PacketHandler] = {}
         self._no_route_handler: Optional[NoRouteHandler] = None
         self._forward_observer: Optional[ForwardObserver] = None
+        sim.metrics.register_collector(self._collect_metrics)
         mac.set_receive_callback(self._on_mac_receive)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: forwarding counters as per-node gauges."""
+        stats = self.stats
+        for key in ("sent_local", "forwarded", "delivered_local",
+                    "delivered_broadcast", "no_route_drops", "no_route_buffered",
+                    "ttl_drops", "unhandled_protocol_drops"):
+            registry.set_gauge(f"net.{key}", getattr(stats, key), node=self.name)
 
     # ------------------------------------------------------------------
     # Upper-layer registration

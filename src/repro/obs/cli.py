@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro.obs run <experiment>``.
+
+Runs one registered experiment with an observability session active and
+writes whichever exports were requested::
+
+    python -m repro.obs run fig09 --seed 1 \
+        --trace-out timeline.json \
+        --metrics-out metrics.json \
+        --capture-out frames.jsonl \
+        --profile
+
+``timeline.json`` opens directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Each export is enabled only when its output path is
+given, so an un-flagged run observes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.campaign.registry import get_registry
+from repro.errors import ReproError
+from repro.obs.session import observe
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        name, separator, raw = pair.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"--set expects name=value, got {pair!r}")
+        try:
+            overrides[name] = ast.literal_eval(raw)
+        except (SyntaxError, ValueError):
+            overrides[name] = raw
+    return overrides
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_registry().get(args.experiment_id)
+    params = spec.resolve_params(_parse_overrides(args.set or []),
+                                 fast=not args.full)
+    wants_trace = args.trace_out is not None
+    wants_metrics = args.metrics_out is not None
+    wants_capture = args.capture_out is not None
+    if not (wants_trace or wants_metrics or wants_capture or args.profile):
+        print("error: nothing to observe — pass --trace-out, --metrics-out, "
+              "--capture-out and/or --profile", file=sys.stderr)
+        return 2
+
+    print(f"observing {args.experiment_id}[seed={args.seed}] "
+          f"({'full' if args.full else 'fast'} parameters)")
+    with observe(trace=wants_trace, metrics=wants_metrics,
+                 capture=wants_capture, profile=args.profile,
+                 max_trace_records=args.max_trace_records) as session:
+        result = spec.run(seed=args.seed, **dict(params))
+
+    print(f"{len(session.simulators)} simulator(s) observed")
+    if wants_trace:
+        count = session.export_timeline(args.trace_out)
+        print(f"timeline: {count} trace event(s) -> {args.trace_out} "
+              f"(open in https://ui.perfetto.dev)")
+    if wants_metrics:
+        session.export_metrics(args.metrics_out)
+        print(f"metrics: {len(session.simulators)} snapshot(s) -> {args.metrics_out}")
+    if wants_capture:
+        count = session.export_capture(args.capture_out)
+        dropped = session.capture.dropped if session.capture else 0
+        note = f" ({dropped} dropped past --max-capture-frames)" if dropped else ""
+        print(f"capture: {count} frame(s) -> {args.capture_out}{note}")
+    if args.profile and session.profiler is not None:
+        print()
+        print(session.profiler.to_text())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=1, default=repr)
+        print(f"results written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run one experiment with observability exports enabled.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run an experiment with trace/metrics/capture export")
+    run_parser.add_argument("experiment_id", help="registry id, e.g. fig09")
+    run_parser.add_argument("--seed", type=int, default=1,
+                            help="simulation seed (default 1)")
+    run_parser.add_argument("--full", action="store_true",
+                            help="use the paper's full parameters instead of "
+                                 "FAST_PARAMS")
+    run_parser.add_argument("--set", action="append", metavar="NAME=VALUE",
+                            help="override one run() parameter (repeatable)")
+    run_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                            help="write a Chrome trace-event timeline here "
+                                 "(Perfetto-compatible JSON)")
+    run_parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="write per-simulator metrics snapshots here "
+                                 "(JSON)")
+    run_parser.add_argument("--capture-out", default=None, metavar="PATH",
+                            help="write the PHY/MAC frame capture here (JSONL)")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="print the hot-path 'where time goes' table")
+    run_parser.add_argument("--max-trace-records", type=int, default=500_000,
+                            help="per-simulator tracer storage bound "
+                                 "(default 500000)")
+    run_parser.add_argument("--out", default=None, metavar="PATH",
+                            help="also write the experiment result JSON here")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return {"run": _cmd_run}[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

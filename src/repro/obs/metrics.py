@@ -1,0 +1,285 @@
+"""Hierarchical metrics registry.
+
+One :class:`MetricsRegistry` holds every metric of one simulator run.  Three
+instrument kinds cover the repo's needs:
+
+* :class:`Counter` — a monotonically increasing count (frames transmitted,
+  exchanges failed);
+* :class:`Gauge` — a point-in-time value (queue depth, totals harvested from
+  an existing statistics object at snapshot time); and
+* :class:`Histogram` — a fixed-bucket distribution (SNR, retries per
+  exchange, frame airtime).
+
+Metrics are identified by a dotted hierarchical name (``"phy.rx_frames"``)
+plus a **label set** (``node="node3.phy", outcome="collided"``), so one
+logical metric fans out per node / per layer / per outcome without ad-hoc
+dict-of-dict counters.
+
+Two cost tiers keep the hot path honest:
+
+* **Disabled** (the default — every simulator starts with the shared
+  :data:`NULL_METRICS` registry): instrument sites guard on
+  ``registry.enabled``, which costs one attribute load and branch, exactly
+  like the existing tracer guards.  Nothing is allocated and nothing is
+  stored.
+* **Enabled**: incrementing resolves the instrument through one dict lookup
+  keyed by ``(name, sorted labels)``.
+
+Besides live instruments, layers may register **collectors** — callbacks run
+at snapshot time that harvest an existing statistics object (e.g.
+:class:`~repro.mac.stats.MacStatistics`) into gauges.  Collectors give full
+per-node/per-layer export depth with zero per-event cost.
+
+Snapshots are **deterministically ordered** (sorted by name, then by the
+sorted label items), so two runs of the same seed serialize byte-identically
+and snapshots can be compared with ``==``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (``+Inf`` is implicit).  Chosen to
+#: be useful for the repo's common distributions (dB values, counts, small
+#: durations); pass explicit ``bounds`` for anything else.
+DEFAULT_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+#: A resolved metric key: the dotted name plus the sorted label items.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _labels_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative; not checked on the hot path)."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        """Adjust the gauge by ``amount`` (for up/down quantities)."""
+        self.value += amount
+
+
+class Histogram:
+    """A fixed-bucket distribution with total count and sum."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 - intentional no-op
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def add(self, amount: float) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+#: Signature of a snapshot-time collector: it receives the registry and sets
+#: gauges (or increments counters) from state it already maintains.
+Collector = Callable[["MetricsRegistry"], None]
+
+
+class MetricsRegistry:
+    """Registry of named, labelled instruments with deterministic export.
+
+    Instrument sites should guard with :attr:`enabled` before resolving an
+    instrument so the disabled path stays near-free::
+
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.inc("phy.tx_frames", node=self.name, kind="data")
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+        self._collectors: List[Collector] = []
+
+    # ------------------------------------------------------------------
+    # Instrument resolution
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        key = (name, _labels_key(labels))
+        found = self._counters.get(key)
+        if found is None:
+            found = self._counters[key] = Counter()
+        return found
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        key = (name, _labels_key(labels))
+        found = self._gauges.get(key)
+        if found is None:
+            found = self._gauges[key] = Gauge()
+        return found
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use.
+
+        ``bounds`` applies only at creation; later calls with different
+        bounds reuse the existing instrument unchanged.
+        """
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        key = (name, _labels_key(labels))
+        found = self._histograms.get(key)
+        if found is None:
+            found = self._histograms[key] = Histogram(bounds)
+        return found
+
+    # ------------------------------------------------------------------
+    # One-shot helpers (resolve + record)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1, **labels: Any) -> None:
+        """Increment the counter ``(name, labels)`` by ``amount``."""
+        if self.enabled:
+            self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``(name, labels)`` to ``value``."""
+        if self.enabled:
+            self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_BUCKETS, **labels: Any) -> None:
+        """Record ``value`` in the histogram ``(name, labels)``."""
+        if self.enabled:
+            self.histogram(name, bounds, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # Collectors
+    # ------------------------------------------------------------------
+    def register_collector(self, collector: Collector) -> None:
+        """Run ``collector(registry)`` at every snapshot (no-op when disabled).
+
+        Collectors let a layer export statistics it already maintains (the
+        MAC's :class:`~repro.mac.stats.MacStatistics`, the forwarding
+        engine's counters) without paying anything on the hot path.
+        """
+        if self.enabled:
+            self._collectors.append(collector)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministically ordered JSON-compatible dump of every metric.
+
+        Collectors run first (in registration order — construction order,
+        which is deterministic) so harvested gauges are current.
+        """
+        for collector in self._collectors:
+            collector(self)
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": counter.value}
+                for (name, labels), counter in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": gauge.value}
+                for (name, labels), gauge in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "count": histogram.count,
+                    "sum": histogram.total,
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in zip(
+                            list(histogram.bounds) + ["+Inf"],
+                            histogram.bucket_counts)
+                    ],
+                }
+                for (name, labels), histogram in sorted(self._histograms.items())
+            ],
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"<MetricsRegistry {state} instruments={len(self)}>"
+
+
+#: The shared disabled registry every :class:`~repro.sim.simulator.Simulator`
+#: starts with.  It never stores anything, so sharing one instance
+#: process-wide is safe.
+NULL_METRICS = MetricsRegistry(enabled=False)

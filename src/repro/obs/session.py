@@ -1,0 +1,172 @@
+"""Ambient observability session.
+
+Experiments construct their :class:`~repro.sim.simulator.Simulator` instances
+deep inside their runners (a ``fig09`` sweep creates one per parameter
+point), so observability cannot be threaded through call signatures without
+touching every experiment.  Instead, an :class:`ObsSession` is installed as
+the process-wide *active session*; ``Simulator.__init__`` calls
+:func:`on_simulator_created`, and the session adopts each new simulator as it
+appears:
+
+* enables its tracer (bounded by ``max_trace_records``),
+* swaps its disabled :data:`~repro.obs.metrics.NULL_METRICS` for a live
+  per-simulator :class:`~repro.obs.metrics.MetricsRegistry`,
+* attaches the session's shared :class:`~repro.obs.capture.FrameCapture`
+  and/or :class:`~repro.obs.profiler.HotPathProfiler`.
+
+Everything adopted only *observes* — no RNG draws, no scheduling — so runs
+are byte-identical with a session active or not (enforced by tests).
+
+Use the :func:`observe` context manager::
+
+    with observe(trace=True, metrics=True) as session:
+        result = run_fig09(Fig09Params(...))
+        session.export_timeline("timeline.json")
+        session.export_metrics("metrics.json")
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.capture import FrameCapture
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import HotPathProfiler
+from repro.obs.timeline import chrome_trace_document, export_chrome_trace
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Which observability features an :class:`ObsSession` turns on."""
+
+    trace: bool = False
+    metrics: bool = False
+    capture: bool = False
+    profile: bool = False
+    #: Per-simulator tracer storage bound (listeners still see every record).
+    max_trace_records: Optional[int] = 500_000
+    #: Shared capture storage bound across all simulators of the session.
+    max_capture_frames: Optional[int] = 500_000
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.trace or self.metrics or self.capture or self.profile
+
+
+class ObsSession:
+    """Adopts every simulator created while active and owns the exports."""
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        #: Adopted simulators, in creation order (deterministic per run).
+        self.simulators: List[Any] = []
+        self.capture: Optional[FrameCapture] = (
+            FrameCapture(max_frames=config.max_capture_frames)
+            if config.capture else None)
+        self.profiler: Optional[HotPathProfiler] = (
+            HotPathProfiler() if config.profile else None)
+
+    # ------------------------------------------------------------------
+    # Adoption (called from Simulator.__init__ via the module hook)
+    # ------------------------------------------------------------------
+    def adopt(self, sim: Any) -> None:
+        """Attach the session's instruments to a newly created simulator."""
+        self.simulators.append(sim)
+        if self.config.trace:
+            sim.tracer.enabled = True
+            if sim.tracer.max_records is None:
+                sim.tracer.max_records = self.config.max_trace_records
+        if self.config.metrics:
+            sim.metrics = MetricsRegistry(enabled=True)
+        if self.capture is not None:
+            sim.capture = self.capture
+        if self.profiler is not None:
+            sim.profiler = self.profiler
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def _trace_groups(self) -> List[Tuple[str, List[Any]]]:
+        traced = [sim for sim in self.simulators if sim.tracer.records]
+        many = len(traced) > 1
+        return [(f"sim{index}/" if many else "", sim.tracer.records)
+                for index, sim in enumerate(traced)]
+
+    def timeline_document(self) -> Dict[str, Any]:
+        """The merged Chrome trace-event document for every adopted run."""
+        return chrome_trace_document(self._trace_groups())
+
+    def export_timeline(self, path: str) -> int:
+        """Write the Chrome trace JSON to ``path``; returns the event count."""
+        return export_chrome_trace(self._trace_groups(), path)
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """Deterministic metrics dump: one snapshot per adopted simulator."""
+        return {
+            "simulations": [
+                {"simulation": index, "metrics": sim.metrics.snapshot()}
+                for index, sim in enumerate(self.simulators)
+                if sim.metrics.enabled
+            ],
+        }
+
+    def export_metrics(self, path: str) -> None:
+        """Write the metrics document to ``path`` as sorted, indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.metrics_document(), handle, indent=1,
+                      sort_keys=True, default=repr)
+
+    def export_capture(self, path: str) -> int:
+        """Write the shared frame capture as JSONL; returns the entry count."""
+        if self.capture is None:
+            raise ValueError("capture is not enabled for this session")
+        return self.capture.to_jsonl(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ObsSession {self.config} sims={len(self.simulators)}>"
+
+
+# ----------------------------------------------------------------------
+# The ambient active session
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[ObsSession] = None
+
+
+def active_session() -> Optional[ObsSession]:
+    """The currently installed session, or ``None``."""
+    return _ACTIVE
+
+
+def on_simulator_created(sim: Any) -> None:
+    """Hook called by ``Simulator.__init__``; adopts ``sim`` when a session
+    is active, otherwise does nothing (one global load and branch)."""
+    if _ACTIVE is not None:
+        _ACTIVE.adopt(sim)
+
+
+@contextmanager
+def observe(trace: bool = False, metrics: bool = False, capture: bool = False,
+            profile: bool = False,
+            max_trace_records: Optional[int] = 500_000,
+            max_capture_frames: Optional[int] = 500_000
+            ) -> Iterator[ObsSession]:
+    """Install an :class:`ObsSession` for the duration of the block.
+
+    Sessions do not nest: installing a second one while another is active
+    raises, because both would try to adopt the same simulators.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("an observability session is already active")
+    session = ObsSession(ObsConfig(
+        trace=trace, metrics=metrics, capture=capture, profile=profile,
+        max_trace_records=max_trace_records,
+        max_capture_frames=max_capture_frames))
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = None

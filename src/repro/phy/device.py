@@ -121,6 +121,8 @@ class Phy:
         self.frames_received = 0
         self.frames_collided = 0
         self.tx_airtime = 0.0
+        self._metrics = sim.metrics
+        sim.metrics.register_collector(self._collect_metrics)
         channel.register(self)
 
     # ------------------------------------------------------------------
@@ -203,6 +205,12 @@ class Phy:
         if tracer.enabled:
             tracer.emit(self.name, "phy", "tx_start", kind=frame.kind.value,
                         bytes=frame.total_bytes, duration=duration)
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.inc("phy.tx_frames", node=self.name, kind=frame.kind.value)
+        capture = sim.capture
+        if capture is not None:
+            capture.record_tx(sim.now, self, frame, duration)
         return duration
 
     def _finish_transmission(self, frame: PhyFrame) -> None:
@@ -296,8 +304,25 @@ class Phy:
         if tracer.enabled:
             tracer.emit(self.name, "phy", "rx_end", kind=frame.kind.value,
                         snr=round(sinr_db, 1), collided=collided)
+        metrics = self._metrics
+        if metrics.enabled:
+            outcome = ("collided" if collided
+                       else "decoded" if result.any_ok else "undecoded")
+            metrics.inc("phy.rx_frames", node=self.name,
+                        kind=frame.kind.value, outcome=outcome)
+            metrics.observe("phy.rx_snr_db", sinr_db, node=self.name)
+        capture = self.sim.capture
+        if capture is not None:
+            capture.record_rx(self.sim.now, self, result)
         if self._listener is not None and result.any_ok or self._listener is not None and collided:
             self._listener.on_frame_received(result)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: running PHY totals as per-node gauges."""
+        registry.set_gauge("phy.frames_sent", self.frames_sent, node=self.name)
+        registry.set_gauge("phy.frames_received", self.frames_received, node=self.name)
+        registry.set_gauge("phy.frames_collided", self.frames_collided, node=self.name)
+        registry.set_gauge("phy.tx_airtime_s", self.tx_airtime, node=self.name)
 
     # ------------------------------------------------------------------
     # Carrier sense notification

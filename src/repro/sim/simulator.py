@@ -11,6 +11,9 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.profiler import perf_counter
+from repro.obs.session import on_simulator_created
 from repro.sim.events import EventHandle
 from repro.sim.randomness import RandomStreams
 from repro.sim.scheduler import Scheduler
@@ -49,6 +52,18 @@ class Simulator:
         self.random = RandomStreams(seed)
         self.tracer = Tracer(self, enabled=trace_enabled)
         self._events_processed = 0
+        #: Metrics registry; the shared disabled one unless an observability
+        #: session (``repro.obs.session.observe``) swaps in a live registry.
+        #: Instrument sites guard on ``metrics.enabled``.
+        self.metrics = NULL_METRICS
+        #: Optional :class:`~repro.obs.capture.FrameCapture`; PHY hot paths
+        #: guard on ``sim.capture is not None``.
+        self.capture = None
+        #: Optional :class:`~repro.obs.profiler.HotPathProfiler`; when set,
+        #: :meth:`run` switches to the profiled loop.
+        self.profiler = None
+        # Adopt this simulator into the active observability session, if any.
+        on_simulator_created(self)
 
     # ------------------------------------------------------------------
     # Clock
@@ -112,6 +127,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is already running")
+        if self.profiler is not None:
+            return self._run_profiled(until, max_events)
         self._running = True
         self._stopped = False
         processed_this_run = 0
@@ -137,6 +154,51 @@ class Simulator:
                 # Queue drained before the horizon: advance the clock to it.
                 self._now = max(self._now, until)
         finally:
+            self._running = False
+            TELEMETRY.record_run(processed_this_run, self._now - started_at)
+        return self._now
+
+    def _run_profiled(self, until: Optional[float],
+                      max_events: Optional[int]) -> float:
+        """:meth:`run` with per-callback :func:`perf_counter` timing.
+
+        A separate loop so the unprofiled path pays nothing; the logic must
+        mirror :meth:`run` exactly.  Callback wall-clock is attributed to the
+        profiler's category for the callback; the remainder of the loop time
+        (heap pops, dispatch) lands in its ``scheduler`` category.
+        """
+        profiler = self.profiler
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        started_at = self._now
+        scheduler = self._scheduler
+        pop_next = scheduler.pop_next
+        callback_seconds = 0.0
+        loop_started = perf_counter()
+        try:
+            while not self._stopped:
+                event = pop_next(until)
+                if event is None:
+                    if until is not None and not scheduler.empty:
+                        self._now = until
+                    break
+                self._now = event.time
+                event.fired = True
+                callback = event.callback
+                before = perf_counter()
+                callback(*event.args)
+                elapsed = perf_counter() - before
+                callback_seconds += elapsed
+                profiler.record(profiler.category_for(callback), elapsed)
+                self._events_processed += 1
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+            if until is not None and not self._stopped and scheduler.empty:
+                self._now = max(self._now, until)
+        finally:
+            profiler.record_loop(perf_counter() - loop_started, callback_seconds)
             self._running = False
             TELEMETRY.record_run(processed_this_run, self._now - started_at)
         return self._now

@@ -32,6 +32,18 @@ class SimTelemetry:
         self.sim_seconds += sim_seconds
         self.runs += 1
 
+    def record_remote(self, events: int, sim_seconds: float, runs: int = 0) -> None:
+        """Fold in totals measured in *another* process.
+
+        Campaign pool workers accumulate into their own process's
+        ``TELEMETRY``, which dies with the worker; the runner carries each
+        job's deltas back in the job result and credits them here so the
+        parent's totals cover the whole campaign regardless of ``--jobs``.
+        """
+        self.events += events
+        self.sim_seconds += sim_seconds
+        self.runs += runs
+
     def snapshot(self) -> Tuple[int, float, int]:
         """Current ``(events, sim_seconds, runs)`` totals."""
         return (self.events, self.sim_seconds, self.runs)

@@ -38,14 +38,31 @@ class Tracer:
         self.enabled = enabled
         self.max_records = max_records
         self.records: List[TraceRecord] = []
+        #: Records emitted after :attr:`records` reached ``max_records`` and
+        #: therefore not stored.  Listeners saw them regardless; a non-zero
+        #: value means stored records are a truncated prefix of the stream.
+        self.dropped = 0
         self._listeners: List[Callable[[TraceRecord], None]] = []
 
     def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
-        """Register a callable invoked for every record (even when storage is full)."""
+        """Register a callable invoked for every emitted record.
+
+        Listener contract: listeners fire for **every** emit while the tracer
+        is enabled — including records dropped from storage because
+        ``max_records`` was reached — in emission order, synchronously, from
+        inside the emitting event.  A listener that needs the full stream is
+        therefore unaffected by the storage bound; a listener must not assume
+        the record it receives is also in :attr:`records`.
+        """
         self._listeners.append(listener)
 
     def emit(self, source: str, category: str, event: str, **fields: Any) -> None:
-        """Record a trace event if tracing is enabled."""
+        """Record a trace event if tracing is enabled.
+
+        Storage is bounded by ``max_records``; once full, further records
+        increment :attr:`dropped` instead of growing :attr:`records`, but are
+        still dispatched to listeners (see :meth:`add_listener`).
+        """
         if not self.enabled:
             return
         record = TraceRecord(
@@ -53,6 +70,8 @@ class Tracer:
         )
         if self.max_records is None or len(self.records) < self.max_records:
             self.records.append(record)
+        else:
+            self.dropped += 1
         for listener in self._listeners:
             listener(record)
 
@@ -71,5 +90,6 @@ class Tracer:
         return result
 
     def clear(self) -> None:
-        """Drop all stored records."""
+        """Drop all stored records and reset the overflow counter."""
         self.records.clear()
+        self.dropped = 0

@@ -37,7 +37,15 @@ class TcpLayer:
         self._ephemeral_port = 49152
         self.segments_received = 0
         self.segments_dropped = 0
+        sim.metrics.register_collector(self._collect_metrics)
         network.register_handler("tcp", self._on_packet)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: TCP segment totals as per-node gauges."""
+        node = str(self.address)
+        registry.set_gauge("tcp.segments_received", self.segments_received, node=node)
+        registry.set_gauge("tcp.segments_dropped", self.segments_dropped, node=node)
+        registry.set_gauge("tcp.connections", len(self._connections), node=node)
 
     # ------------------------------------------------------------------
     # Socket-style API

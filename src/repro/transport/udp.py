@@ -71,7 +71,14 @@ class UdpLayer:
         self._sockets: Dict[int, UdpSocket] = {}
         self.delivered = 0
         self.no_port_drops = 0
+        sim.metrics.register_collector(self._collect_metrics)
         network.register_handler("udp", self._on_packet)
+
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time collector: UDP delivery totals as per-node gauges."""
+        node = str(self.address)
+        registry.set_gauge("udp.delivered", self.delivered, node=node)
+        registry.set_gauge("udp.no_port_drops", self.no_port_drops, node=node)
 
     def bind(self, port: int) -> UdpSocket:
         """Create a socket bound to ``port``."""

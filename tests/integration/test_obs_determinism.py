@@ -1,0 +1,85 @@
+"""Observability must be a pure observer: byte-identical results on or off.
+
+Every instrument added by ``repro.obs`` (tracer adoption, metrics counters,
+frame capture, the profiled scheduler loop) only *reads* simulation state —
+no RNG draws, no scheduling.  These tests enforce the contract the rest of
+the suite assumes: the same seed produces byte-identical results whether an
+observability session is active or not, in-process and when an observed
+inline campaign is compared against unobserved pool workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.core.policies import broadcast_aggregation, unicast_aggregation
+from repro.experiments import fig09_udp_flooding
+from repro.experiments.scenarios import run_tcp_transfer, run_udp_saturation
+from repro.obs.session import observe
+
+TINY_FIG09 = {"rates_mbps": (0.65,), "flooding_intervals": (0.5,),
+              "duration": 2.0}
+
+
+def _udp_signature(seed: int) -> str:
+    result = run_udp_saturation(broadcast_aggregation(), duration=2.0,
+                                flooding_interval=0.5, seed=seed)
+    return repr((result.throughput_mbps, result.packets_received,
+                 result.sink.bytes_received, result.sink.first_arrival,
+                 result.sink.last_arrival))
+
+
+def _tcp_signature(seed: int) -> str:
+    result = run_tcp_transfer(unicast_aggregation(), file_bytes=20_000,
+                              seed=seed)
+    return repr((result.throughput_mbps, result.completion_time,
+                 result.receiver.bytes_received, result.complete))
+
+
+@pytest.mark.parametrize("signature", [_udp_signature, _tcp_signature],
+                         ids=["udp_saturation", "tcp_transfer"])
+def test_full_observability_is_byte_neutral(signature):
+    plain = signature(7)
+    with observe(trace=True, metrics=True, capture=True, profile=True) as session:
+        observed = signature(7)
+    assert observed == plain
+    # ...and the session really was watching, not silently disabled.
+    assert session.simulators
+    assert any(sim.tracer.records for sim in session.simulators)
+    assert any(len(sim.metrics) for sim in session.simulators)
+    assert len(session.capture) > 0
+    assert session.profiler.events > 0
+
+
+def test_tracer_overflow_does_not_change_results():
+    # A tiny storage bound exercises the overflow path mid-run; dropping
+    # records must not perturb the simulation itself.
+    plain = _udp_signature(3)
+    with observe(trace=True, max_trace_records=10) as session:
+        bounded = _udp_signature(3)
+    assert bounded == plain
+    assert any(sim.tracer.dropped > 0 for sim in session.simulators)
+
+
+def test_observed_experiment_sweep_is_byte_neutral():
+    # fig09 creates several simulators per run; the session adopts each one.
+    plain = repr(fig09_udp_flooding.run(**TINY_FIG09, seed=5).to_dict())
+    with observe(trace=True, metrics=True, capture=True) as session:
+        observed = repr(fig09_udp_flooding.run(**TINY_FIG09, seed=5).to_dict())
+    assert observed == plain
+    assert len(session.simulators) >= 2
+
+
+def test_observed_inline_campaign_matches_unobserved_pool_workers():
+    # Inline jobs run in this process and get adopted by the active session;
+    # pool workers run unobserved in fresh processes.  Both must produce the
+    # same bytes, or observing a campaign would invalidate its cache.
+    with observe(trace=True, metrics=True, capture=True):
+        inline = CampaignRunner(jobs=1).run_campaign(
+            "fig09", seeds=[1, 2], overrides=TINY_FIG09)
+    pooled = CampaignRunner(jobs=2).run_campaign(
+        "fig09", seeds=[1, 2], overrides=TINY_FIG09)
+    assert inline.replicas[1].to_dict() == pooled.replicas[1].to_dict()
+    assert inline.replicas[2].to_dict() == pooled.replicas[2].to_dict()
+    assert inline.aggregate.to_dict() == pooled.aggregate.to_dict()

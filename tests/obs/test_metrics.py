@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    _NULL_COUNTER,
+    _NULL_GAUGE,
+    _NULL_HISTOGRAM,
+)
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+def test_counter_increments_per_label_set():
+    registry = MetricsRegistry()
+    registry.inc("phy.tx_frames", node="n1", kind="data")
+    registry.inc("phy.tx_frames", node="n1", kind="data")
+    registry.inc("phy.tx_frames", node="n2", kind="data", amount=5)
+    assert registry.counter("phy.tx_frames", node="n1", kind="data").value == 2
+    assert registry.counter("phy.tx_frames", node="n2", kind="data").value == 5
+
+
+def test_label_order_is_irrelevant():
+    registry = MetricsRegistry()
+    a = registry.counter("m", x=1, y=2)
+    b = registry.counter("m", y=2, x=1)
+    assert a is b
+
+
+def test_gauge_set_and_add():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("queue.depth", node="n1")
+    gauge.set(4.0)
+    gauge.add(-1.5)
+    assert registry.gauge("queue.depth", node="n1").value == 2.5
+
+
+def test_histogram_buckets_count_and_mean():
+    histogram = Histogram(bounds=(1.0, 10.0))
+    for value in (0.5, 1.0, 5.0, 100.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.total == 106.5
+    assert histogram.bucket_counts == [2, 1, 1]  # <=1, <=10, +Inf
+    assert histogram.mean == 106.5 / 4
+    assert Histogram().mean == 0.0
+
+
+def test_histogram_bounds_are_sorted_and_defaulted():
+    histogram = Histogram(bounds=(10.0, 1.0, 5.0))
+    assert histogram.bounds == (1.0, 5.0, 10.0)
+    registry = MetricsRegistry()
+    assert registry.histogram("h").bounds == tuple(sorted(DEFAULT_BUCKETS))
+
+
+# ---------------------------------------------------------------------------
+# Disabled registry: zero storage, shared null instruments
+# ---------------------------------------------------------------------------
+
+def test_disabled_registry_stores_nothing():
+    registry = MetricsRegistry(enabled=False)
+    assert registry.counter("a", node="x") is _NULL_COUNTER
+    assert registry.gauge("b") is _NULL_GAUGE
+    assert registry.histogram("c") is _NULL_HISTOGRAM
+    registry.inc("a", node="x")
+    registry.set_gauge("b", 1.0)
+    registry.observe("c", 2.0)
+    registry.register_collector(lambda r: r.set_gauge("d", 1.0))
+    assert len(registry) == 0
+    snapshot = registry.snapshot()
+    assert snapshot == {"counters": [], "gauges": [], "histograms": []}
+
+
+def test_null_instruments_accept_calls():
+    NULL_METRICS.counter("x").inc()
+    NULL_METRICS.gauge("y").set(1.0)
+    NULL_METRICS.gauge("y").add(1.0)
+    NULL_METRICS.histogram("z").observe(3.0)
+    assert len(NULL_METRICS) == 0
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+def _populate(registry: MetricsRegistry, order: str) -> None:
+    names = ["b.count", "a.count", "c.count"]
+    if order == "reversed":
+        names = names[::-1]
+    for name in names:
+        for node in ("n2", "n1"):
+            registry.inc(name, node=node)
+    registry.set_gauge("g", 7.0)
+    registry.observe("h", 3.0, bounds=(1.0, 5.0))
+
+
+def test_snapshot_is_deterministically_ordered():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    _populate(first, "forward")
+    _populate(second, "reversed")  # different creation order, same content
+    assert first.snapshot() == second.snapshot()
+    names = [c["name"] for c in first.snapshot()["counters"]]
+    assert names == sorted(names)
+
+
+def test_snapshot_is_json_serializable():
+    registry = MetricsRegistry()
+    _populate(registry, "forward")
+    payload = json.dumps(registry.snapshot(), sort_keys=True)
+    assert json.loads(payload)["histograms"][0]["buckets"][-1]["le"] == "+Inf"
+
+
+def test_collectors_run_at_snapshot_in_registration_order():
+    registry = MetricsRegistry()
+    calls = []
+    registry.register_collector(lambda r: calls.append("first"))
+    registry.register_collector(
+        lambda r: (calls.append("second"), r.set_gauge("harvested", 9.0)))
+    assert calls == []
+    snapshot = registry.snapshot()
+    assert calls == ["first", "second"]
+    assert snapshot["gauges"] == [{"name": "harvested", "labels": {}, "value": 9.0}]

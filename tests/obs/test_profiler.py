@@ -1,0 +1,129 @@
+"""Unit tests for the hot-path profiler (repro.obs.profiler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.dcf import AggregatingMac
+from repro.obs.profiler import SCHEDULER_CATEGORY, HotPathProfiler, categorize
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Categorisation
+# ---------------------------------------------------------------------------
+
+def test_categorize_layer_and_class():
+    assert categorize(AggregatingMac._begin_exchange) == "mac/AggregatingMac"
+
+
+def test_categorize_module_level_function():
+    from repro.sim import simulator
+    assert categorize(simulator.Simulator.run).startswith("sim/")
+
+
+def test_categorize_plain_function_without_class():
+    def helper():
+        pass
+    helper.__module__ = "repro.net.routing"
+    assert categorize(helper) == "net"
+
+
+def test_categorize_unknown_module_falls_back():
+    def helper():
+        pass
+    helper.__module__ = "collections.abc"
+    assert categorize(helper) == "collections"
+
+
+def test_category_for_caches_bound_methods():
+    profiler = HotPathProfiler()
+
+    class Thing:
+        def cb(self):
+            pass
+
+    a, b = Thing(), Thing()
+    first = profiler.category_for(a.cb)
+    second = profiler.category_for(b.cb)
+    assert first == second
+    assert len(profiler._category_cache) == 1
+
+
+# ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+
+def test_record_and_loop_accounting():
+    profiler = HotPathProfiler()
+    profiler.record("mac/AggregatingMac", 0.3)
+    profiler.record("mac/AggregatingMac", 0.1)
+    profiler.record("phy/Phy", 0.2)
+    profiler.record_loop(1.0, callback_seconds=0.6)
+    snap = profiler.snapshot()
+    assert snap["events"] == 3
+    assert snap["loop_seconds"] == 1.0
+    rows = {row["category"]: row for row in snap["categories"]}
+    assert rows["mac/AggregatingMac"]["events"] == 2
+    assert rows["mac/AggregatingMac"]["seconds"] == pytest.approx(0.4)
+    assert rows[SCHEDULER_CATEGORY]["seconds"] == pytest.approx(0.4)
+    # scheduler rows count no events of their own
+    assert rows[SCHEDULER_CATEGORY]["events"] == 0
+    assert snap["attributed_fraction"] == pytest.approx(1.0)
+    # sorted by descending seconds
+    ordered = [row["category"] for row in snap["categories"]]
+    assert ordered[0] in ("mac/AggregatingMac", SCHEDULER_CATEGORY)
+    assert ordered == sorted(
+        ordered, key=lambda c: (-rows[c]["seconds"], c))
+
+
+def test_attributed_fraction_capped_at_one():
+    profiler = HotPathProfiler()
+    profiler.record("sim", 2.0)
+    profiler.record_loop(1.0, callback_seconds=2.0)
+    assert profiler.snapshot()["attributed_fraction"] == 1.0
+
+
+def test_to_text_contains_table_rows():
+    profiler = HotPathProfiler()
+    profiler.record("phy/Phy", 0.5)
+    profiler.record_loop(0.5, callback_seconds=0.5)
+    text = profiler.to_text()
+    assert "where time goes" in text
+    assert "phy/Phy" in text
+    assert "attributed" in text
+
+
+# ---------------------------------------------------------------------------
+# Profiled simulator run
+# ---------------------------------------------------------------------------
+
+def test_profiled_run_attributes_all_events():
+    sim = Simulator(seed=1)
+    sim.profiler = HotPathProfiler()
+    hits = []
+    for t in (0.1, 0.2, 0.3):
+        sim.schedule(t, hits.append, t)
+    sim.run()
+    assert hits == [0.1, 0.2, 0.3]
+    snap = sim.profiler.snapshot()
+    assert snap["events"] == 3
+    assert snap["loop_seconds"] > 0.0
+    assert SCHEDULER_CATEGORY in {row["category"] for row in snap["categories"]}
+
+
+def test_profiled_run_matches_unprofiled_event_order():
+    def drive(sim):
+        order = []
+        sim.schedule(0.2, order.append, "b")
+        sim.schedule(0.1, order.append, "a")
+        sim.schedule(0.1, order.append, "a2")
+        sim.run()
+        return order, sim.events_processed
+
+    plain_sim = Simulator(seed=5)
+    plain = drive(plain_sim)
+    profiled_sim = Simulator(seed=5)
+    profiled_sim.profiler = HotPathProfiler()
+    profiled = drive(profiled_sim)
+    assert plain == profiled

@@ -1,0 +1,175 @@
+"""Tests for the ambient observability session and the obs CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main as obs_main
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.session import ObsConfig, ObsSession, active_session, observe
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Session adoption
+# ---------------------------------------------------------------------------
+
+def test_no_session_leaves_simulator_unobserved():
+    assert active_session() is None
+    sim = Simulator(seed=1)
+    assert sim.metrics is NULL_METRICS
+    assert sim.capture is None
+    assert sim.profiler is None
+    assert not sim.tracer.enabled
+
+
+def test_observe_adopts_simulators_created_inside():
+    with observe(trace=True, metrics=True, capture=True, profile=True,
+                 max_trace_records=123) as session:
+        assert active_session() is session
+        first = Simulator(seed=1)
+        second = Simulator(seed=2)
+    assert active_session() is None
+    assert session.simulators == [first, second]
+    for sim in (first, second):
+        assert sim.tracer.enabled
+        assert sim.tracer.max_records == 123
+        assert sim.metrics.enabled
+        assert sim.metrics is not NULL_METRICS
+        assert sim.capture is session.capture
+        assert sim.profiler is session.profiler
+    # metrics registries are per-simulator, capture/profiler are shared
+    assert first.metrics is not second.metrics
+
+
+def test_observe_features_are_independent():
+    with observe(metrics=True) as session:
+        sim = Simulator(seed=1)
+    assert session.capture is None
+    assert session.profiler is None
+    assert not sim.tracer.enabled
+    assert sim.metrics.enabled
+
+
+def test_sessions_do_not_nest():
+    with observe(trace=True):
+        with pytest.raises(RuntimeError, match="already active"):
+            with observe(metrics=True):
+                pass  # pragma: no cover
+    assert active_session() is None
+
+
+def test_session_cleared_even_on_error():
+    with pytest.raises(ValueError):
+        with observe(trace=True):
+            raise ValueError("boom")
+    assert active_session() is None
+
+
+def test_config_any_enabled():
+    assert not ObsConfig().any_enabled
+    assert ObsConfig(trace=True).any_enabled
+    assert ObsConfig(profile=True).any_enabled
+
+
+# ---------------------------------------------------------------------------
+# Exports
+# ---------------------------------------------------------------------------
+
+def _traced_session():
+    with observe(trace=True, metrics=True) as session:
+        for seed in (1, 2):
+            sim = Simulator(seed=seed)
+            sim.tracer.emit("node1.phy", "phy", "tx_start")
+            sim.tracer.emit("node1.phy", "phy", "tx_end")
+            sim.metrics.inc("demo.counter", node="n1")
+    return session
+
+
+def test_timeline_merges_sims_with_prefixes(tmp_path):
+    session = _traced_session()
+    document = session.timeline_document()
+    names = {e["args"]["name"] for e in document["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert names == {"sim0/node1", "sim1/node1"}
+    path = tmp_path / "timeline.json"
+    count = session.export_timeline(str(path))
+    assert len(json.loads(path.read_text())["traceEvents"]) == count
+
+
+def test_single_traced_sim_gets_no_prefix():
+    with observe(trace=True) as session:
+        sim = Simulator(seed=1)
+        sim.tracer.emit("node1.phy", "phy", "rx_end")
+    names = {e["args"]["name"] for e in session.timeline_document()["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert names == {"node1"}
+
+
+def test_metrics_document_and_export(tmp_path):
+    session = _traced_session()
+    document = session.metrics_document()
+    assert [s["simulation"] for s in document["simulations"]] == [0, 1]
+    assert document["simulations"][0]["metrics"]["counters"][0]["name"] == \
+        "demo.counter"
+    path = tmp_path / "metrics.json"
+    session.export_metrics(str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(document, default=repr))
+
+
+def test_export_capture_requires_capture_enabled(tmp_path):
+    session = ObsSession(ObsConfig(trace=True))
+    with pytest.raises(ValueError, match="capture"):
+        session.export_capture(str(tmp_path / "frames.jsonl"))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_requires_at_least_one_export(capsys):
+    exit_code = obs_main(["run", "fig09", "--seed", "1"])
+    assert exit_code == 2
+    assert "nothing to observe" in capsys.readouterr().err
+
+
+def test_cli_run_writes_all_exports(tmp_path, capsys):
+    trace_path = tmp_path / "timeline.json"
+    metrics_path = tmp_path / "metrics.json"
+    capture_path = tmp_path / "frames.jsonl"
+    out_path = tmp_path / "result.json"
+    exit_code = obs_main([
+        "run", "fig09", "--seed", "1",
+        "--set", "flooding_intervals=(2.0,)", "--set", "duration=2.0",
+        "--trace-out", str(trace_path),
+        "--metrics-out", str(metrics_path),
+        "--capture-out", str(capture_path),
+        "--profile",
+        "--out", str(out_path),
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "simulator(s) observed" in output
+    assert "where time goes" in output
+
+    document = json.loads(trace_path.read_text())
+    assert document["traceEvents"]
+    assert {e["ph"] for e in document["traceEvents"]} <= {"M", "X", "i"}
+
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["simulations"]
+    assert metrics["simulations"][0]["metrics"]["counters"]
+
+    lines = capture_path.read_text().strip().splitlines()
+    assert lines and all(json.loads(line)["dir"] in ("tx", "rx")
+                         for line in lines)
+    assert json.loads(out_path.read_text())
+
+
+def test_cli_unknown_experiment_is_an_error(capsys):
+    exit_code = obs_main(["run", "does-not-exist", "--trace-out", "/dev/null"])
+    assert exit_code == 2
+    assert "error:" in capsys.readouterr().err

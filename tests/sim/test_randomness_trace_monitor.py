@@ -80,6 +80,23 @@ def test_tracer_max_records(sim):
     for i in range(5):
         sim.tracer.emit("n", "c", f"e{i}")
     assert len(sim.tracer.records) == 2
+    assert sim.tracer.dropped == 3
+
+
+def test_tracer_overflow_still_reaches_listeners(sim):
+    """Storage truncates at max_records but the listener stream is complete."""
+    sim.tracer.enabled = True
+    sim.tracer.max_records = 1
+    seen = []
+    sim.tracer.add_listener(seen.append)
+    for i in range(4):
+        sim.tracer.emit("n", "c", f"e{i}")
+    assert [record.event for record in sim.tracer.records] == ["e0"]
+    assert sim.tracer.dropped == 3
+    assert [record.event for record in seen] == ["e0", "e1", "e2", "e3"]
+    sim.tracer.clear()
+    assert sim.tracer.records == []
+    assert sim.tracer.dropped == 0
 
 
 # ---------------------------------------------------------------------------
