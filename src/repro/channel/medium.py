@@ -65,6 +65,12 @@ class Transmission:
 class WirelessChannel:
     """Single shared broadcast medium connecting all registered PHYs."""
 
+    __slots__ = ("sim", "propagation", "noise_floor_dbm",
+                 "propagation_delay_enabled", "_phys", "_phy_ids",
+                 "_delivery_handles", "_link_aware", "_cache_epoch",
+                 "_budget_cache", "_active", "total_transmissions",
+                 "total_airtime", "_metrics")
+
     def __init__(
         self,
         sim: Simulator,

@@ -50,7 +50,7 @@ class LinkAwarePropagationModel(Protocol):
         """Path loss in dB on the ``tx_key`` → ``rx_key`` link at ``time``."""
 
 
-@dataclass
+@dataclass(slots=True)
 class FreeSpacePathLoss:
     """Free-space (Friis) path loss.
 
@@ -70,7 +70,7 @@ class FreeSpacePathLoss:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class LogDistancePathLoss:
     """Log-distance path loss: ``PL(d) = PL(d0) + 10 n log10(d / d0)``."""
 
@@ -113,6 +113,9 @@ class LogNormalShadowing:
     the plain position-only ``path_loss_db`` interface returns the base loss
     without shadowing, because link identity is unknown there.
     """
+
+    __slots__ = ("base", "sigma_db", "coherence_time", "symmetric",
+                 "_streams", "_offsets")
 
     def __init__(self, base: Optional[PropagationModel] = None, sigma_db: float = 6.0,
                  coherence_time: Optional[float] = None, symmetric: bool = True) -> None:

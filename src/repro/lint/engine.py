@@ -1,0 +1,220 @@
+"""File walking, suppression handling and report assembly for repro.lint.
+
+The engine parses each ``.py`` file once, hands the tree to every rule whose
+config scope matches the file, then filters the findings through inline
+suppression comments::
+
+    rng = random.Random(seed)  # lint: disable=RPR001 -- derived from replica seed
+
+A suppression hides the finding but is *recorded* — the report carries an
+audit list of every suppression in the checked tree.  A suppression whose
+``-- justification`` tail is missing still suppresses the original finding
+but raises the meta-rule **RPR000** in its place, so unexplained escapes
+fail the gate just like ordinary violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import RULES, RuleContext
+
+#: ``# lint: disable=RPR001`` or ``# lint: disable=RPR001,RPR003 -- why``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Z0-9,\s]+?)(?:\s*--\s*(\S.*?))?\s*$")
+
+META_RULE_ID = "RPR000"
+
+
+@dataclass(slots=True)
+class Violation:
+    """One rule finding at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class Suppression:
+    """An inline ``# lint: disable`` that hid at least one finding."""
+
+    rule_id: str
+    path: str
+    line: int
+    justification: Optional[str]
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "justification": self.justification,
+            "justified": self.justified,
+        }
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Aggregated result of a lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    checked_files: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def extend(self, other: "LintReport") -> None:
+        self.violations.extend(other.violations)
+        self.suppressions.extend(other.suppressions)
+        self.checked_files += other.checked_files
+        self.errors.extend(other.errors)
+
+    def sorted(self) -> "LintReport":
+        self.violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule_id))
+        self.suppressions.sort(key=lambda s: (s.path, s.line, s.rule_id))
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        by_rule: Dict[str, int] = {}
+        for violation in self.violations:
+            by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "violations": [v.as_dict() for v in self.violations],
+            "suppressions": [s.as_dict() for s in self.suppressions],
+            "counts": {
+                "violations": len(self.violations),
+                "suppressions": len(self.suppressions),
+                "unjustified_suppressions": sum(
+                    1 for s in self.suppressions if not s.justified),
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+            "errors": list(self.errors),
+        }
+
+
+def _parse_suppressions(source: str) -> Dict[int, Tuple[List[str], Optional[str]]]:
+    """Map line number → (rule ids, justification) for disable comments."""
+    table: Dict[int, Tuple[List[str], Optional[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rule_ids = [part.strip() for part in match.group(1).split(",") if part.strip()]
+        table[lineno] = (rule_ids, match.group(2))
+    return table
+
+
+def relative_to_package(path: Path) -> str:
+    """POSIX path of ``path`` relative to its enclosing ``repro`` package.
+
+    Config patterns like ``sim/*`` are anchored at the package root so the
+    checker behaves identically for ``src/repro``, ``repro/sim/timer.py``
+    or an absolute path.  Files outside any ``repro`` directory fall back
+    to their own name (fixture files in tests, ad-hoc snippets).
+    """
+    resolved = path.resolve()
+    parts = resolved.parts
+    for index in range(len(parts) - 1, 0, -1):
+        if parts[index - 1] == "repro":
+            return "/".join(parts[index:])
+    return resolved.name
+
+
+def check_source(source: str, rel_path: str, config: Optional[LintConfig] = None,
+                 ) -> LintReport:
+    """Lint one module's source text as if it lived at ``rel_path``.
+
+    This is the fixture-test entry point: rules see exactly what they would
+    for an on-disk file at that package-relative location.
+    """
+    if config is None:
+        config = LintConfig()
+    report = LintReport(checked_files=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.errors.append(f"{rel_path}:{exc.lineno}: syntax error: {exc.msg}")
+        return report
+
+    suppressions = _parse_suppressions(source)
+    used_suppressions: set = set()
+    ctx = RuleContext(rel_path, source, config)
+    for rule in RULES:
+        if not config.applies(rule.id, rel_path):
+            continue
+        for line, column, message in rule.check(tree, ctx):
+            entry = suppressions.get(line)
+            if entry is not None and rule.id in entry[0]:
+                used_suppressions.add((line, rule.id))
+                continue
+            report.violations.append(
+                Violation(rule.id, rel_path, line, column, message))
+    for (line, rule_id) in sorted(used_suppressions):
+        justification = suppressions[line][1]
+        report.suppressions.append(
+            Suppression(rule_id, rel_path, line, justification))
+        if not justification:
+            report.violations.append(Violation(
+                META_RULE_ID, rel_path, line, 0,
+                f"suppression of {rule_id} without a `-- justification` tail; "
+                "explain why the rule does not apply here"))
+    return report
+
+
+def check_file(path: Path, config: Optional[LintConfig] = None) -> LintReport:
+    """Lint one on-disk Python file."""
+    rel_path = relative_to_package(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        report = LintReport()
+        report.errors.append(f"{path}: unreadable: {exc}")
+        return report
+    return check_source(source, rel_path, config)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand the CLI's path operands into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(p for p in path.rglob("*.py")
+                         if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            files.append(path)
+    return sorted(set(files))
+
+
+def check_paths(paths: Iterable[Path], config: Optional[LintConfig] = None,
+                ) -> LintReport:
+    """Lint every Python file under ``paths`` and merge the reports."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.extend(check_file(path, config))
+    return report.sorted()

@@ -16,6 +16,8 @@ from repro.mac.timing import MacTimingProfile
 class BackoffController:
     """Contention window and slot-count management for one MAC."""
 
+    __slots__ = ("timing", "_rng", "_cw", "slots_remaining", "draws")
+
     def __init__(self, timing: MacTimingProfile, rng: random.Random) -> None:
         self.timing = timing
         self._rng = rng

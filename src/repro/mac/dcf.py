@@ -66,7 +66,7 @@ class MacState(enum.Enum):
     WAIT_ACK = "wait_ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class MacConfig:
     """Static configuration of one MAC instance."""
 
@@ -88,6 +88,14 @@ class MacConfig:
 
 class AggregatingMac:
     """802.11 DCF MAC with the paper's aggregation extensions."""
+
+    __slots__ = ("sim", "phy", "config", "policy", "name", "address",
+                 "timing", "queues", "classifier", "aggregator",
+                 "duplicates", "stats", "rate_controller", "scoreboard",
+                 "backoff", "nav", "state", "_current", "_pending_retry",
+                 "_retry_count", "_flush_forced", "_drawn_slots",
+                 "_backoff_resumed_at", "_access_timer", "_response_timer",
+                 "_flush_timer", "_receive_callback", "_metrics")
 
     def __init__(
         self,
@@ -124,6 +132,10 @@ class AggregatingMac:
         self._retry_count = 0
         self._flush_forced = False
         self._drawn_slots = 0
+        # Time backoff counting last (re)started; only meaningful while the
+        # access timer runs (_pause_backoff checks that), but initialised here
+        # so the attribute always exists under __slots__.
+        self._backoff_resumed_at = 0.0
 
         self._access_timer = Timer(sim, self._on_backoff_complete,
                                    priority=Simulator.PRIORITY_MAC, name=f"{self.name}.access")

@@ -35,7 +35,7 @@ ACK_FRAME_BYTES = 14
 _sequence_numbers = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class MacSubframe:
     """One MAC subframe inside an aggregated physical frame.
 
@@ -54,10 +54,10 @@ class MacSubframe:
     retries: int = 0
     enqueued_at: float = 0.0
 
-    # Lazily-computed on-air size: a plain class attribute (no annotation, so
-    # not a dataclass field), shadowed per instance on first access; the
-    # wrapped packet's size never changes.
-    _size_bytes_cache = None
+    # Lazily-computed on-air size; the wrapped packet's size never changes.
+    # A real (slotted) field rather than a shadowed class attribute, kept out
+    # of repr/compare so it stays an invisible memo.
+    _size_bytes_cache: Optional[int] = field(default=None, repr=False, compare=False)
 
     @property
     def size_bytes(self) -> int:
@@ -85,7 +85,7 @@ class MacSubframe:
                 f"{self.size_bytes}B {queue}>")
 
 
-@dataclass
+@dataclass(slots=True)
 class RtsFrame:
     """Request-to-send control frame."""
 
@@ -95,7 +95,7 @@ class RtsFrame:
     size_bytes: int = RTS_FRAME_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class CtsFrame:
     """Clear-to-send control frame (addressed to the RTS originator)."""
 
@@ -104,7 +104,7 @@ class CtsFrame:
     size_bytes: int = CTS_FRAME_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class AckFrame:
     """Link-level acknowledgement for the unicast portion of an aggregate."""
 

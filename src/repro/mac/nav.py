@@ -15,6 +15,8 @@ from repro.sim.simulator import Simulator
 class NetworkAllocationVector:
     """Tracks the time until which the medium is virtually reserved."""
 
+    __slots__ = ("_sim", "_until", "_on_expire", "_expiry_event", "updates")
+
     def __init__(self, sim: Simulator, on_expire: Optional[Callable[[], None]] = None) -> None:
         self._sim = sim
         self._until = 0.0

@@ -19,6 +19,9 @@ from repro.mac.frames import MacSubframe
 class TransmitQueues:
     """The broadcast and unicast transmit queues of one MAC."""
 
+    __slots__ = ("capacity", "_broadcast", "_unicast", "drops_broadcast",
+                 "drops_unicast", "enqueued_broadcast", "enqueued_unicast")
+
     def __init__(self, capacity: int = 50) -> None:
         self.capacity = capacity
         self._broadcast: Deque[MacSubframe] = deque()

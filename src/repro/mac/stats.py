@@ -24,7 +24,7 @@ from repro.sim.monitor import TimeSeriesMonitor
 ROUTING_CONTROL_PROTOCOLS = frozenset({"hello", "dsdv", "aodv"})
 
 
-@dataclass
+@dataclass(slots=True)
 class MacStatistics:
     """Counters and accumulators maintained by one MAC instance."""
 

@@ -17,7 +17,7 @@ from repro.errors import ConfigurationError
 from repro.units import microseconds
 
 
-@dataclass
+@dataclass(slots=True)
 class MacTimingProfile:
     """Interframe spaces, slot time and contention-window parameters."""
 

@@ -49,7 +49,7 @@ class PhyState(enum.Enum):
     RECEIVING = "receiving"
 
 
-@dataclass
+@dataclass(slots=True)
 class PhyConfig:
     """Static configuration of a PHY device."""
 
@@ -87,6 +87,13 @@ class _ReceptionAttempt:
 
 class Phy:
     """Half-duplex PHY with carrier sensing, capture and subframe decoding."""
+
+    __slots__ = ("sim", "channel", "config", "position", "mobility", "name",
+                 "error_model", "_rng", "_listener", "_transmitting",
+                 "_current_tx_frame", "_receptions", "_carrier_count",
+                 "_carrier_busy_reported", "_noise_cache_dbm",
+                 "_noise_cache_mw", "frames_sent", "frames_received",
+                 "frames_collided", "tx_airtime", "_metrics")
 
     def __init__(
         self,

@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 from repro.phy.rates import PhyRate
 
 
-@dataclass
+@dataclass(slots=True)
 class ErrorModelConfig:
     """Tunable constants of the error model.
 
@@ -67,6 +67,8 @@ class ErrorModel:
     call, so reproducibility is untouched: the cache changes *when math runs*,
     never *which numbers come out*.
     """
+
+    __slots__ = ("config", "_probability_cache")
 
     #: Drop the memo once it holds this many distinct argument tuples
     #: (mobile/interference scenarios produce unbounded SNR values).

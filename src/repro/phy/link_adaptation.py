@@ -33,6 +33,8 @@ class RateController(Protocol):
 class FixedRate:
     """Trivial controller that always returns the configured rate."""
 
+    __slots__ = ("_rate",)
+
     def __init__(self, rate: PhyRate) -> None:
         self._rate = rate
 
@@ -55,6 +57,9 @@ class FixedRate:
 
 class AutoRateFallback:
     """ARF (Kamerman & Monteban): step up after N successes, down after M failures."""
+
+    __slots__ = ("table", "_rate", "success_threshold", "failure_threshold",
+                 "_successes", "_failures", "_probing")
 
     def __init__(self, table: RateTable, initial: Optional[PhyRate] = None,
                  success_threshold: int = 10, failure_threshold: int = 2) -> None:
@@ -95,6 +100,8 @@ class AutoRateFallback:
 
 class ReceiverBasedAutoRate:
     """RBAR (Holland, Vaidya, Bahl): pick the fastest rate the measured SNR supports."""
+
+    __slots__ = ("table", "margin_db", "_rate")
 
     def __init__(self, table: RateTable, initial: Optional[PhyRate] = None,
                  margin_db: float = 3.0) -> None:

@@ -18,7 +18,7 @@ from repro.phy.modulation import Modulation
 from repro.units import mbps
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhyRate:
     """A single (modulation, coding rate, data rate) operating point."""
 
@@ -71,6 +71,8 @@ HYDRA_BASE_RATE: PhyRate = HYDRA_SISO_RATES[0]
 
 class RateTable:
     """An ordered collection of :class:`PhyRate` operating points."""
+
+    __slots__ = ("_rates", "_by_name")
 
     def __init__(self, rates: Iterable[PhyRate]):
         self._rates: List[PhyRate] = sorted(rates, key=lambda r: r.data_rate_bps)

@@ -26,7 +26,7 @@ from repro.phy.rates import PhyRate
 from repro.units import microseconds
 
 
-@dataclass
+@dataclass(slots=True)
 class PhyTimingConfig:
     """Timing constants of the PHY.
 

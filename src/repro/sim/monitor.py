@@ -21,6 +21,8 @@ from repro.sim.simulator import Simulator
 class CounterMonitor:
     """A bag of named counters."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, float] = {}
 
@@ -43,6 +45,8 @@ class CounterMonitor:
 
 class TimeSeriesMonitor:
     """Records explicit ``(time, value)`` observations."""
+
+    __slots__ = ("name", "samples")
 
     def __init__(self, name: str = "series") -> None:
         self.name = name
@@ -90,6 +94,9 @@ class TimeSeriesMonitor:
 
 class TimeWeightedMonitor:
     """Integrates a piecewise-constant value over simulated time."""
+
+    __slots__ = ("name", "_sim", "_value", "_last_change", "_weighted_sum",
+                 "_start_time")
 
     def __init__(self, sim: Simulator, initial: float = 0.0, name: str = "level") -> None:
         self.name = name

@@ -17,6 +17,8 @@ from typing import Dict
 class RandomStreams:
     """Factory of named, deterministic ``random.Random`` streams."""
 
+    __slots__ = ("root_seed", "_streams")
+
     def __init__(self, root_seed: int = 1) -> None:
         self.root_seed = int(root_seed)
         self._streams: Dict[str, random.Random] = {}

@@ -27,6 +27,8 @@ from repro.sim.events import Event, EventHandle, next_sequence
 class Scheduler:
     """Priority queue of pending simulation events."""
 
+    __slots__ = ("_heap", "_pending", "_cancelled_in_heap")
+
     #: Compaction floor: never rebuild heaps with fewer buried cancellations.
     COMPACT_MIN_CANCELLED = 64
     #: Rebuild once cancelled entries make up at least half the heap.

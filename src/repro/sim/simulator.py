@@ -38,6 +38,10 @@ class Simulator:
     #: fire before MAC events which fire before application events so that a
     #: frame that finishes reception at time *t* is processed before a timer
     #: that expires at the same instant.
+    __slots__ = ("_now", "_scheduler", "_running", "_stopped", "random",
+                 "tracer", "_events_processed", "metrics", "capture",
+                 "profiler")
+
     PRIORITY_PHY = 0
     PRIORITY_MAC = 10
     PRIORITY_NET = 20

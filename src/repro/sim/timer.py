@@ -22,6 +22,9 @@ class Timer:
     expiration is cancelled).
     """
 
+    __slots__ = ("_sim", "_callback", "_priority", "_handle", "name",
+                 "expirations")
+
     def __init__(
         self,
         sim: Simulator,
@@ -88,6 +91,8 @@ class Timer:
 
 class PeriodicTimer:
     """A timer that re-arms itself with a fixed period until stopped."""
+
+    __slots__ = ("_period", "_callback", "_timer", "_stopped", "ticks")
 
     def __init__(
         self,

@@ -15,7 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecord:
     """A single trace entry."""
 
@@ -32,6 +32,8 @@ class TraceRecord:
 
 class Tracer:
     """Collects :class:`TraceRecord` entries and dispatches them to listeners."""
+
+    __slots__ = ("_sim", "enabled", "max_records", "records", "dropped", "_listeners")
 
     def __init__(self, sim: "Simulator", enabled: bool = False, max_records: Optional[int] = None) -> None:
         self._sim = sim
