@@ -57,6 +57,16 @@ ORDER_SINKS = [
     "forward", "deliver", "update", "record", "hash", "sha256", "md5",
 ]
 
+#: ``receiver.method`` specs for instrumentation emitters that must sit
+#: behind an ``.enabled`` guard on the hot path (RPR005).  A leading
+#: underscore on the receiver at the call site (``self._tracer.emit``)
+#: matches the bare spec.
+GUARDED_INSTRUMENTATION_CALLS = [
+    "tracer.emit", "tracer.record",
+    "metrics.inc", "metrics.observe",
+    "journey.begin", "journey.record",
+]
+
 DEFAULT_CONFIG: Dict[str, Dict[str, List[str]]] = {
     "RPR001": {
         "paths": [],
@@ -78,6 +88,7 @@ DEFAULT_CONFIG: Dict[str, Dict[str, List[str]]] = {
     "RPR005": {
         "paths": list(HOT_PATH_MODULES),
         "allow": [],
+        "guarded_calls": list(GUARDED_INSTRUMENTATION_CALLS),
     },
     "RPR006": {
         "paths": [],
@@ -113,6 +124,11 @@ class LintConfig:
     def sinks(self, rule_id: str) -> frozenset:
         """Configured order-sink method names for ``rule_id``."""
         return frozenset(self.rule_options(rule_id).get("sinks", ORDER_SINKS))
+
+    def guarded_calls(self, rule_id: str) -> frozenset:
+        """Configured ``receiver.method`` guard specs for ``rule_id``."""
+        return frozenset(self.rule_options(rule_id).get(
+            "guarded_calls", GUARDED_INSTRUMENTATION_CALLS))
 
 
 def load_config(path: Optional[Path] = None,

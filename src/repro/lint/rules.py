@@ -482,34 +482,44 @@ class GuardedInstrumentation(Rule):
     rationale = (
         "Tracing and metrics are off by default precisely so the hot path "
         "pays one attribute load and a branch when disabled (the PR 6/7 "
-        "pattern). An unguarded tracer.emit(...)/metrics.inc(...) still "
-        "builds its argument tuple and formats its fields on every event — "
-        "measurable at millions of events per run. Hoist `tracer = "
-        "self.sim.tracer` and test `if tracer.enabled:` (or "
-        "`metrics.enabled`) around the call."
+        "pattern). An unguarded tracer.emit(...)/metrics.inc(...)/"
+        "journey.record(...) still builds its argument tuple and formats its "
+        "fields on every event — measurable at millions of events per run. "
+        "Hoist `tracer = self.sim.tracer` and test `if tracer.enabled:` (or "
+        "`metrics.enabled`, `journey.enabled`) around the call. The emitter "
+        "set is the RPR005 `guarded_calls` list in lint.toml "
+        "(`receiver.method` specs)."
     )
 
-    _TRACER_RECEIVERS = {"tracer", "_tracer"}
-    _TRACER_METHODS = {"emit", "record"}
-    _METRICS_RECEIVERS = {"metrics", "_metrics"}
-    _METRICS_METHODS = {"inc", "observe"}
+    def _guard_specs(self, ctx: RuleContext) -> Dict[str, Set[str]]:
+        """``receiver -> {methods}`` parsed from the rule's guarded_calls."""
+        specs: Dict[str, Set[str]] = {}
+        for spec in ctx.config.guarded_calls(self.id):
+            receiver, dot, method = spec.rpartition(".")
+            if not dot or not receiver or not method:
+                continue
+            specs.setdefault(receiver.lstrip("_"), set()).add(method)
+        return specs
 
     def check(self, tree: ast.Module, ctx: RuleContext) -> List[Finding]:
+        specs = self._guard_specs(ctx)
         findings: List[Finding] = []
         for func in [n for n in ast.walk(tree)
                      if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]:
-            findings.extend(self._check_function(func))
+            findings.extend(self._check_function(func, specs))
         return findings
 
-    def _is_instrument_call(self, node: ast.Call) -> Optional[str]:
+    def _is_instrument_call(self, node: ast.Call,
+                            specs: Dict[str, Set[str]]) -> Optional[str]:
         func = node.func
         if not isinstance(func, ast.Attribute):
             return None
         receiver = _receiver_tail(func)
-        if func.attr in self._TRACER_METHODS and receiver in self._TRACER_RECEIVERS:
-            return "tracer"
-        if func.attr in self._METRICS_METHODS and receiver in self._METRICS_RECEIVERS:
-            return "metrics"
+        if receiver is None:
+            return None
+        receiver = receiver.lstrip("_")
+        if func.attr in specs.get(receiver, ()):
+            return receiver
         return None
 
     def _test_mentions_enabled(self, test: ast.expr) -> bool:
@@ -530,7 +540,8 @@ class GuardedInstrumentation(Rule):
                 return True
         return False
 
-    def _check_function(self, func: ast.FunctionDef) -> List[Finding]:
+    def _check_function(self, func: ast.FunctionDef,
+                        specs: Dict[str, Set[str]]) -> List[Finding]:
         if self._has_early_return_guard(func):
             return []
         findings: List[Finding] = []
@@ -552,7 +563,7 @@ class GuardedInstrumentation(Rule):
                     guarded.add(id(child))
         for node in ast.walk(func):
             if isinstance(node, ast.Call) and id(node) not in guarded:
-                kind = self._is_instrument_call(node)
+                kind = self._is_instrument_call(node, specs)
                 if kind is not None:
                     findings.append((node.lineno, node.col_offset,
                                      f"unguarded {kind} instrumentation call on the "

@@ -73,6 +73,7 @@ from repro.net.dynamic_routing import (
 )
 from repro.net.packet import IpHeader, Packet
 from repro.net.routing import BROADCAST_IP
+from repro.obs.journey import node_of
 from repro.sim.simulator import Simulator
 from repro.sim.timer import Timer
 
@@ -217,6 +218,9 @@ class AodvRouter:
         self.route_breaks = 0
         self.route_expirations = 0
         self._metrics = sim.metrics
+        self._journey = sim.journey
+        self._journey_node = node_of(
+            getattr(network, "name", str(self.address)), "net")
         sim.metrics.register_collector(self._collect_metrics)
         network.register_handler(AODV_PROTOCOL, self._on_control)
         network.set_no_route_handler(self._on_no_route)
@@ -238,12 +242,18 @@ class AodvRouter:
         self._stopped = True
         self.discovery.stop()
         self._expiry_timer.cancel()
+        journey = self._journey
         for destination in sorted(self._pending):
             state = self._pending[destination]
             if state.timer is not None:
                 state.timer.cancel()
-            self.buffered_packets_dropped += sum(
-                1 for packet in state.buffered if _is_data(packet))
+            for packet in state.buffered:
+                if _is_data(packet):
+                    self.buffered_packets_dropped += 1
+                    if journey.enabled:
+                        journey.record(self.sim.now, self._journey_node,
+                                       "net", "drop", packet,
+                                       reason="shutdown")
         self._pending.clear()
 
     @property
@@ -279,8 +289,12 @@ class AodvRouter:
             self._send_rreq(state)
         else:
             if len(state.buffered) >= self.config.buffer_packets:
-                state.buffered.pop(0)
+                evicted = state.buffered.pop(0)
                 self.buffered_packets_dropped += 1
+                journey = self._journey
+                if journey.enabled and _is_data(evicted):
+                    journey.record(self.sim.now, self._journey_node, "net",
+                                   "drop", evicted, reason="buffer_full")
             state.buffered.append(packet)
         return True
 
@@ -361,6 +375,12 @@ class AodvRouter:
         self.discoveries_failed += 1
         dropped = sum(1 for packet in state.buffered if _is_data(packet))
         self.buffered_packets_dropped += dropped
+        journey = self._journey
+        if journey.enabled:
+            for packet in state.buffered:
+                if _is_data(packet):
+                    journey.record(self.sim.now, self._journey_node, "net",
+                                   "drop", packet, reason="rreq_exhausted")
         self.sim.tracer.emit(self.name, "aodv", "discovery_failed",
                              dest=str(state.destination), dropped=dropped)
         state.buffered.clear()

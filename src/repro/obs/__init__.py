@@ -10,6 +10,8 @@ is therefore *not* re-exported — import it explicitly.
 * :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export of
   :class:`~repro.sim.trace.Tracer` streams;
 * :mod:`repro.obs.capture` — JSONL frame capture at the PHY/MAC boundary;
+* :mod:`repro.obs.journey` — per-packet journey tracing with latency
+  waterfalls and the packet-conservation audit;
 * :mod:`repro.obs.profiler` — wall-clock-by-category hot-path profiler;
 * :mod:`repro.obs.session` — the ambient :func:`~repro.obs.session.observe`
   context manager that wires all of the above into every simulator created
@@ -18,6 +20,13 @@ is therefore *not* re-exported — import it explicitly.
 """
 
 from repro.obs.capture import FrameCapture
+from repro.obs.journey import (
+    NULL_JOURNEY,
+    JourneyRecorder,
+    conservation_audit,
+    flow_summaries,
+    journey_waterfall,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.progress import ProgressReporter
@@ -27,13 +36,18 @@ from repro.obs.timeline import chrome_trace_document, export_chrome_trace
 __all__ = [
     "FrameCapture",
     "HotPathProfiler",
+    "JourneyRecorder",
     "MetricsRegistry",
+    "NULL_JOURNEY",
     "NULL_METRICS",
     "ObsConfig",
     "ObsSession",
     "ProgressReporter",
     "active_session",
     "chrome_trace_document",
+    "conservation_audit",
     "export_chrome_trace",
+    "flow_summaries",
+    "journey_waterfall",
     "observe",
 ]

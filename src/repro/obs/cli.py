@@ -7,11 +7,14 @@ writes whichever exports were requested::
         --trace-out timeline.json \
         --metrics-out metrics.json \
         --capture-out frames.jsonl \
+        --journey-out journeys.json --flow 10.0.0.1,10.0.0.3 \
         --profile
 
 ``timeline.json`` opens directly in Perfetto (https://ui.perfetto.dev) or
 ``chrome://tracing``.  Each export is enabled only when its output path is
-given, so an un-flagged run observes nothing.
+given, so an un-flagged run observes nothing.  ``--journey-out`` also runs
+the packet-conservation audit and exits 1 when any node's ledger does not
+balance (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.campaign.registry import get_registry
 from repro.errors import ReproError
+from repro.obs.journey import format_flow_report
 from repro.obs.session import observe
 
 
@@ -47,15 +51,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     wants_trace = args.trace_out is not None
     wants_metrics = args.metrics_out is not None
     wants_capture = args.capture_out is not None
-    if not (wants_trace or wants_metrics or wants_capture or args.profile):
+    wants_journey = args.journey_out is not None
+    if not (wants_trace or wants_metrics or wants_capture or wants_journey
+            or args.profile):
         print("error: nothing to observe — pass --trace-out, --metrics-out, "
-              "--capture-out and/or --profile", file=sys.stderr)
+              "--capture-out, --journey-out and/or --profile", file=sys.stderr)
         return 2
+    flow_filter = None
+    if args.flow is not None:
+        src, separator, dst = args.flow.partition(",")
+        if not separator or not src or not dst:
+            print(f"error: --flow expects SRC,DST, got {args.flow!r}",
+                  file=sys.stderr)
+            return 2
+        flow_filter = (src.strip(), dst.strip())
 
     print(f"observing {args.experiment_id}[seed={args.seed}] "
           f"({'full' if args.full else 'fast'} parameters)")
     with observe(trace=wants_trace, metrics=wants_metrics,
                  capture=wants_capture, profile=args.profile,
+                 journey=wants_journey,
                  max_trace_records=args.max_trace_records) as session:
         result = spec.run(seed=args.seed, **dict(params))
 
@@ -72,6 +87,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dropped = session.capture.dropped if session.capture else 0
         note = f" ({dropped} dropped past --max-capture-frames)" if dropped else ""
         print(f"capture: {count} frame(s) -> {args.capture_out}{note}")
+    exit_code = 0
+    if wants_journey:
+        count = session.export_journeys(args.journey_out)
+        print(f"journeys: {count} packet journey(s) -> {args.journey_out}")
+        if flow_filter is not None:
+            print()
+            print(format_flow_report(session.flow_report(src=flow_filter[0],
+                                                         dst=flow_filter[1])))
+            print()
+        audit = session.conservation_report()
+        if audit["balanced"]:
+            totals = [entry["audit"]["totals"]
+                      for entry in audit["simulations"]]
+            delivered = sum(t["delivered"] for t in totals)
+            dropped = sum(t["dropped"] for t in totals)
+            in_flight = sum(t["in_flight"] for t in totals)
+            print(f"conservation audit: balanced on every node "
+                  f"(delivered {delivered}, dropped {dropped}, "
+                  f"in flight {in_flight})")
+        else:
+            exit_code = 1
+            print("conservation audit: FAILED — packets are unaccounted for",
+                  file=sys.stderr)
+            for entry in audit["simulations"]:
+                for violation in entry["audit"]["violations"][:20]:
+                    print(f"  sim{entry['simulation']}: {violation}",
+                          file=sys.stderr)
     if args.profile and session.profiler is not None:
         print()
         print(session.profiler.to_text())
@@ -79,7 +121,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=1, default=repr)
         print(f"results written to {args.out}")
-    return 0
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(JSON)")
     run_parser.add_argument("--capture-out", default=None, metavar="PATH",
                             help="write the PHY/MAC frame capture here (JSONL)")
+    run_parser.add_argument("--journey-out", default=None, metavar="PATH",
+                            help="write per-packet journeys, flow waterfalls "
+                                 "and the conservation audit here (JSON); "
+                                 "exits 1 if the audit finds unaccounted "
+                                 "packets")
+    run_parser.add_argument("--flow", default=None, metavar="SRC,DST",
+                            help="with --journey-out: print the hop-by-hop "
+                                 "latency breakdown for one flow, e.g. "
+                                 "10.0.0.1,10.0.0.3")
     run_parser.add_argument("--profile", action="store_true",
                             help="print the hot-path 'where time goes' table")
     run_parser.add_argument("--max-trace-records", type=int, default=500_000,

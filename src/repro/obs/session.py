@@ -33,6 +33,13 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.capture import FrameCapture
+from repro.obs.journey import (
+    JourneyRecorder,
+    conservation_audit,
+    flow_arrows,
+    flow_summaries,
+    journey_document,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.timeline import chrome_trace_document, export_chrome_trace
@@ -46,14 +53,19 @@ class ObsConfig:
     metrics: bool = False
     capture: bool = False
     profile: bool = False
+    journey: bool = False
     #: Per-simulator tracer storage bound (listeners still see every record).
     max_trace_records: Optional[int] = 500_000
     #: Shared capture storage bound across all simulators of the session.
     max_capture_frames: Optional[int] = 500_000
+    #: Per-simulator journey-recorder bound (packets past it are counted,
+    #: not followed).
+    max_journeys: Optional[int] = 200_000
 
     @property
     def any_enabled(self) -> bool:
-        return self.trace or self.metrics or self.capture or self.profile
+        return (self.trace or self.metrics or self.capture or self.profile
+                or self.journey)
 
 
 class ObsSession:
@@ -81,6 +93,9 @@ class ObsSession:
                 sim.tracer.max_records = self.config.max_trace_records
         if self.config.metrics:
             sim.metrics = MetricsRegistry(enabled=True)
+        if self.config.journey:
+            sim.journey = JourneyRecorder(
+                enabled=True, max_journeys=self.config.max_journeys)
         if self.capture is not None:
             sim.capture = self.capture
         if self.profiler is not None:
@@ -95,13 +110,22 @@ class ObsSession:
         return [(f"sim{index}/" if many else "", sim.tracer.records)
                 for index, sim in enumerate(traced)]
 
+    def _flow_groups(self) -> List[Tuple[str, List[Dict[str, Any]]]]:
+        """Journey flow arrows keyed by the same prefixes as trace groups."""
+        traced = [sim for sim in self.simulators if sim.tracer.records]
+        many = len(traced) > 1
+        return [(f"sim{index}/" if many else "", flow_arrows(sim.journey))
+                for index, sim in enumerate(traced) if sim.journey.enabled]
+
     def timeline_document(self) -> Dict[str, Any]:
         """The merged Chrome trace-event document for every adopted run."""
-        return chrome_trace_document(self._trace_groups())
+        return chrome_trace_document(self._trace_groups(),
+                                     flow_groups=self._flow_groups())
 
     def export_timeline(self, path: str) -> int:
         """Write the Chrome trace JSON to ``path``; returns the event count."""
-        return export_chrome_trace(self._trace_groups(), path)
+        return export_chrome_trace(self._trace_groups(), path,
+                                   flow_groups=self._flow_groups())
 
     def metrics_document(self) -> Dict[str, Any]:
         """Deterministic metrics dump: one snapshot per adopted simulator."""
@@ -124,6 +148,57 @@ class ObsSession:
         if self.capture is None:
             raise ValueError("capture is not enabled for this session")
         return self.capture.to_jsonl(path)
+
+    # ------------------------------------------------------------------
+    # Journeys
+    # ------------------------------------------------------------------
+    def journey_recorders(self) -> List[Tuple[int, Any]]:
+        """``(simulation index, recorder)`` for every journey-enabled sim."""
+        return [(index, sim.journey)
+                for index, sim in enumerate(self.simulators)
+                if sim.journey.enabled]
+
+    def journey_count(self) -> int:
+        """Total number of packet journeys recorded across all simulators."""
+        return sum(len(recorder) for _, recorder in self.journey_recorders())
+
+    def journey_documents(self) -> Dict[str, Any]:
+        """Full journey dump: one document per journey-enabled simulator."""
+        return {
+            "simulations": [
+                {"simulation": index, **journey_document(recorder)}
+                for index, recorder in self.journey_recorders()
+            ],
+        }
+
+    def export_journeys(self, path: str) -> int:
+        """Write the journey documents to ``path``; returns the journey count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.journey_documents(), handle, indent=1,
+                      sort_keys=True, default=repr)
+        return self.journey_count()
+
+    def flow_report(self, src: Optional[str] = None,
+                    dst: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Merged per-flow summaries across every journey-enabled simulator."""
+        report: List[Dict[str, Any]] = []
+        for index, recorder in self.journey_recorders():
+            for summary in flow_summaries(recorder, src=src, dst=dst):
+                if len(self.journey_recorders()) > 1:
+                    summary = {"simulation": index, **summary}
+                report.append(summary)
+        return report
+
+    def conservation_report(self) -> Dict[str, Any]:
+        """Per-simulator conservation audits plus the overall verdict."""
+        audits = [
+            {"simulation": index, "audit": conservation_audit(recorder)}
+            for index, recorder in self.journey_recorders()
+        ]
+        return {
+            "balanced": all(entry["audit"]["balanced"] for entry in audits),
+            "simulations": audits,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ObsSession {self.config} sims={len(self.simulators)}>"
@@ -149,9 +224,10 @@ def on_simulator_created(sim: Any) -> None:
 
 @contextmanager
 def observe(trace: bool = False, metrics: bool = False, capture: bool = False,
-            profile: bool = False,
+            profile: bool = False, journey: bool = False,
             max_trace_records: Optional[int] = 500_000,
-            max_capture_frames: Optional[int] = 500_000
+            max_capture_frames: Optional[int] = 500_000,
+            max_journeys: Optional[int] = 200_000
             ) -> Iterator[ObsSession]:
     """Install an :class:`ObsSession` for the duration of the block.
 
@@ -163,8 +239,10 @@ def observe(trace: bool = False, metrics: bool = False, capture: bool = False,
         raise RuntimeError("an observability session is already active")
     session = ObsSession(ObsConfig(
         trace=trace, metrics=metrics, capture=capture, profile=profile,
+        journey=journey,
         max_trace_records=max_trace_records,
-        max_capture_frames=max_capture_frames))
+        max_capture_frames=max_capture_frames,
+        max_journeys=max_journeys))
     _ACTIVE = session
     try:
         yield session

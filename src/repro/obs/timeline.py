@@ -12,7 +12,10 @@ Record mapping:
   with their real airtime;
 * every other record becomes an instant ``"i"`` event with the record's
   fields attached as ``args``;
-* ``"M"`` metadata events name the process/thread tracks.
+* ``"M"`` metadata events name the process/thread tracks;
+* journey flow descriptors (from :func:`repro.obs.journey.flow_arrows`)
+  become ``"s"``/``"t"``/``"f"`` flow events sharing an id, which Perfetto
+  renders as arrows connecting one packet's hops across node tracks.
 
 Timestamps are simulated microseconds.  Export order is deterministic: track
 ids are assigned by sorted name, and events keep the tracer's emission order
@@ -25,7 +28,7 @@ ids are assigned by sorted name, and events keep the tracer's emission order
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: ``(category, begin event) -> end event`` pairs folded into "X" slices.
 DURATION_PAIRS: Dict[Tuple[str, str], str] = {
@@ -46,13 +49,17 @@ def _split_source(source: str, category: str) -> Tuple[str, str]:
 
 
 def chrome_trace_events(records: Iterable[Any],
-                        source_prefix: str = "") -> List[Dict[str, Any]]:
+                        source_prefix: str = "",
+                        flows: Optional[Sequence[Dict[str, Any]]] = None
+                        ) -> List[Dict[str, Any]]:
     """Convert trace records into a list of Chrome trace-event dicts.
 
     ``records`` is any iterable of objects with the
     :class:`~repro.sim.trace.TraceRecord` attributes (``time``, ``source``,
     ``category``, ``event``, ``fields``).  ``source_prefix`` namespaces the
     node tracks (used when merging several simulators into one timeline).
+    ``flows`` is an optional list of journey flow descriptors (``{"id",
+    "name", "points": [(time, node, lane), ...]}``) rendered as flow arrows.
     """
     events: List[Dict[str, Any]] = []
     # (pid_name, tid_name, category, begin event) -> index of the open slice
@@ -92,6 +99,23 @@ def chrome_trace_events(records: Iterable[Any],
             "args": dict(record.fields),
         })
 
+    for flow in flows or ():
+        points = flow["points"]
+        last = len(points) - 1
+        for index, (time, node, lane) in enumerate(points):
+            if source_prefix:
+                node = f"{source_prefix}{node}"
+            track_names.add((node, lane))
+            event = {
+                "name": flow["name"],
+                "ph": "s" if index == 0 else ("f" if index == last else "t"),
+                "ts": time * 1e6, "pid": node, "tid": lane,
+                "cat": "journey", "id": flow["id"],
+            }
+            if index == last:
+                event["bp"] = "e"
+            events.append(event)
+
     # Stable numeric ids per track, assigned by sorted name so the export is
     # independent of event arrival order.
     pid_names = sorted({node for node, _ in track_names})
@@ -112,24 +136,33 @@ def chrome_trace_events(records: Iterable[Any],
     return metadata + events
 
 
-def chrome_trace_document(record_groups: Sequence[Tuple[str, Iterable[Any]]]
-                          ) -> Dict[str, Any]:
+def chrome_trace_document(
+        record_groups: Sequence[Tuple[str, Iterable[Any]]],
+        flow_groups: Optional[Sequence[Tuple[str, Sequence[Dict[str, Any]]]]] = None
+        ) -> Dict[str, Any]:
     """Build the full trace JSON document from ``(prefix, records)`` groups.
 
     A single-simulator run passes one group with an empty prefix; a
     multi-simulator experiment passes one group per simulator (prefixes like
     ``"sim0/"``) and gets every node track of every run in one timeline.
+    ``flow_groups`` optionally carries per-prefix journey flow descriptors
+    (see :func:`chrome_trace_events`) keyed by the same prefixes.
     """
+    flow_map = dict(flow_groups or ())
     events: List[Dict[str, Any]] = []
     for prefix, records in record_groups:
-        events.extend(chrome_trace_events(records, source_prefix=prefix))
+        events.extend(chrome_trace_events(records, source_prefix=prefix,
+                                          flows=flow_map.get(prefix)))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def export_chrome_trace(record_groups: Sequence[Tuple[str, Iterable[Any]]],
-                        path: str) -> int:
+def export_chrome_trace(
+        record_groups: Sequence[Tuple[str, Iterable[Any]]],
+        path: str,
+        flow_groups: Optional[Sequence[Tuple[str, Sequence[Dict[str, Any]]]]] = None
+        ) -> int:
     """Write the timeline JSON to ``path``; returns the trace-event count."""
-    document = chrome_trace_document(record_groups)
+    document = chrome_trace_document(record_groups, flow_groups=flow_groups)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, separators=(",", ":"), default=repr)
     return len(document["traceEvents"])

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional, Protocol
 
 from repro.errors import PhyError
+from repro.obs.journey import node_of
 from repro.phy.error_model import ErrorModel, ErrorModelConfig
 from repro.phy.frame import FrameKind, PhyFrame, ReceptionResult
 from repro.phy.timing import PhyTimingConfig
@@ -93,7 +94,8 @@ class Phy:
                  "_current_tx_frame", "_receptions", "_carrier_count",
                  "_carrier_busy_reported", "_noise_cache_dbm",
                  "_noise_cache_mw", "frames_sent", "frames_received",
-                 "frames_collided", "tx_airtime", "_metrics")
+                 "frames_collided", "tx_airtime", "_metrics", "_journey",
+                 "_journey_node")
 
     def __init__(
         self,
@@ -129,6 +131,8 @@ class Phy:
         self.frames_collided = 0
         self.tx_airtime = 0.0
         self._metrics = sim.metrics
+        self._journey = sim.journey
+        self._journey_node = node_of(name, "phy")
         sim.metrics.register_collector(self._collect_metrics)
         channel.register(self)
 
@@ -318,6 +322,19 @@ class Phy:
             metrics.inc("phy.rx_frames", node=self.name,
                         kind=frame.kind.value, outcome=outcome)
             metrics.observe("phy.rx_snr_db", sinr_db, node=self.name)
+        journey = self._journey
+        if journey.enabled and not frame.kind.is_control:
+            now = self.sim.now
+            node = self._journey_node
+            snr = round(sinr_db, 1)
+            for subframe, ok in zip(frame.broadcast_subframes,
+                                    result.broadcast_ok):
+                journey.record(now, node, "phy", "rx", subframe.packet,
+                               ok=ok, collided=collided, snr=snr)
+            for subframe, ok in zip(frame.unicast_subframes,
+                                    result.unicast_ok):
+                journey.record(now, node, "phy", "rx", subframe.packet,
+                               ok=ok, collided=collided, snr=snr)
         capture = self.sim.capture
         if capture is not None:
             capture.record_rx(self.sim.now, self, result)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.journey import NULL_JOURNEY
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.profiler import perf_counter
 from repro.obs.session import on_simulator_created
@@ -40,7 +41,7 @@ class Simulator:
     #: that expires at the same instant.
     __slots__ = ("_now", "_scheduler", "_running", "_stopped", "random",
                  "tracer", "_events_processed", "metrics", "capture",
-                 "profiler")
+                 "profiler", "journey")
 
     PRIORITY_PHY = 0
     PRIORITY_MAC = 10
@@ -66,6 +67,10 @@ class Simulator:
         #: Optional :class:`~repro.obs.profiler.HotPathProfiler`; when set,
         #: :meth:`run` switches to the profiled loop.
         self.profiler = None
+        #: Per-packet journey recorder; the shared disabled one unless an
+        #: observability session swaps in a live recorder.  Instrument sites
+        #: guard on ``journey.enabled``.
+        self.journey = NULL_JOURNEY
         # Adopt this simulator into the active observability session, if any.
         on_simulator_created(self)
 

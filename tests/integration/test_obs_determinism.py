@@ -14,12 +14,17 @@ import pytest
 
 from repro.campaign.runner import CampaignRunner
 from repro.core.policies import broadcast_aggregation, unicast_aggregation
-from repro.experiments import fig09_udp_flooding
+from repro.experiments import (fig09_udp_flooding, mob01_flooding_mobility,
+                               rt02_overhead_scaling)
 from repro.experiments.scenarios import run_tcp_transfer, run_udp_saturation
 from repro.obs.session import observe
 
 TINY_FIG09 = {"rates_mbps": (0.65,), "flooding_intervals": (0.5,),
               "duration": 2.0}
+TINY_RT02 = {"flow_counts": (2,), "speeds_mps": (2.0,),
+             "routings": ("aodv",), "warmup": 1.0, "duration": 4.0,
+             "include_no_aggregation": False}
+TINY_MOB01 = {"speeds_mps": (2.0,), "node_count": 4, "duration": 2.0}
 
 
 def _udp_signature(seed: int) -> str:
@@ -69,6 +74,44 @@ def test_observed_experiment_sweep_is_byte_neutral():
         observed = repr(fig09_udp_flooding.run(**TINY_FIG09, seed=5).to_dict())
     assert observed == plain
     assert len(session.simulators) >= 2
+
+
+@pytest.mark.parametrize("experiment,params", [
+    (fig09_udp_flooding, TINY_FIG09),
+    (rt02_overhead_scaling, TINY_RT02),
+    (mob01_flooding_mobility, TINY_MOB01),
+], ids=["fig09", "rt02", "mob01"])
+def test_journey_tracing_is_byte_neutral_and_conserves_packets(experiment,
+                                                               params):
+    # Journeys are recorded in a side table keyed by packet uid — never on
+    # the packet itself — so following every packet must not change a byte.
+    plain = repr(experiment.run(**params, seed=11).to_dict())
+    with observe(journey=True) as session:
+        journeyed = repr(experiment.run(**params, seed=11).to_dict())
+    assert journeyed == plain
+    # The recorder really followed traffic...
+    assert session.journey_count() > 0
+    # ...and every followed packet is accounted for on every node of every
+    # simulator: offered == delivered + transferred + Σ drops + in-flight.
+    report = session.conservation_report()
+    assert report["balanced"], report
+    for entry in report["simulations"]:
+        assert entry["audit"]["violations"] == []
+        for node, ledger in entry["audit"]["nodes"].items():
+            assert ledger["balanced"], (node, ledger)
+            assert ledger["leaked"] == 0, (node, ledger)
+
+
+def test_journey_cap_counts_overflow_without_perturbing_the_run():
+    plain = repr(fig09_udp_flooding.run(**TINY_FIG09, seed=4).to_dict())
+    with observe(journey=True, max_journeys=25) as session:
+        capped = repr(fig09_udp_flooding.run(**TINY_FIG09, seed=4).to_dict())
+    assert capped == plain
+    recorders = [recorder for _, recorder in session.journey_recorders()]
+    assert any(recorder.dropped > 0 for recorder in recorders)
+    assert all(len(recorder) <= 25 for recorder in recorders)
+    # Truncated recorders still audit cleanly over the journeys they kept.
+    assert session.conservation_report()["balanced"]
 
 
 def test_observed_inline_campaign_matches_unobserved_pool_workers():

@@ -122,6 +122,20 @@ class TestMob02ReprobeSatellite:
                 > stalled.get_series("UA").y_values[0])
 
 
+class TestRoutingConservation:
+    def test_mesh_routing_run_conserves_every_followed_packet(self):
+        # mob03 drives AODV under mobility — route breaks, rebuffering and
+        # RREQ retries are exactly where custody hand-offs could go missing.
+        from repro.obs import observe
+
+        with observe(journey=True) as session:
+            mob03_mesh_routing.run(speeds_mps=(2.0,), grid_side=2,
+                                   warmup=1.0, duration=4.0, seed=3)
+        assert session.journey_count() > 0
+        report = session.conservation_report()
+        assert report["balanced"], report
+
+
 class TestStaticRoutingUnchanged:
     def test_default_node_carries_no_control_plane(self):
         from repro.net.routing import RoutingTable

@@ -89,6 +89,21 @@ def test_run_udp_saturation_measures_throughput():
     assert outcome.packets_received > 50
 
 
+def test_scenario_runs_conserve_every_followed_packet():
+    # The journey audit must balance on the raw scenario runners too: TCP
+    # retransmissions (fresh packets per attempt) and saturated UDP queues
+    # (queue-full drops) are the classic places packets leak silently.
+    from repro.obs import observe
+
+    with observe(journey=True) as session:
+        run_tcp_transfer(unicast_aggregation(), file_bytes=20_000, seed=2)
+        run_udp_saturation(broadcast_aggregation(), duration=2.0,
+                           flooding_interval=0.5, seed=2)
+    assert session.journey_count() > 0
+    report = session.conservation_report()
+    assert report["balanced"], report
+
+
 def test_run_udp_saturation_with_flooding_attaches_flooders():
     outcome = run_udp_saturation(broadcast_aggregation(), hops=2, rate_mbps=0.65,
                                  duration=5.0, flooding_interval=0.5, seed=3)

@@ -15,8 +15,9 @@ from repro.lint import LintConfig, check_source
 from repro.lint.engine import META_RULE_ID
 
 
-def lint(source: str, rel_path: str):
-    return check_source(textwrap.dedent(source), rel_path, LintConfig())
+def lint(source: str, rel_path: str, config=None):
+    return check_source(textwrap.dedent(source), rel_path,
+                        config if config is not None else LintConfig())
 
 
 def rule_ids(report):
@@ -434,6 +435,26 @@ class TestRPR005:
             "mac/extra.py")
         assert "RPR005" in rule_ids(report)
 
+    def test_flags_unguarded_journey_record(self):
+        report = lint(
+            """
+            def on_deliver(self, subframe):
+                self._journey.record(self.sim.now, self.name, "mac",
+                                     "deliver", subframe.packet)
+            """,
+            "mac/extra.py")
+        assert "RPR005" in rule_ids(report)
+
+    def test_flags_unguarded_journey_begin(self):
+        report = lint(
+            """
+            def send(self, packet):
+                journey = self.sim.journey
+                journey.begin(self.sim.now, self.name, "net", packet)
+            """,
+            "mac/extra.py")
+        assert "RPR005" in rule_ids(report)
+
     def test_guarded_calls_are_clean(self):
         report = lint(
             """
@@ -444,9 +465,29 @@ class TestRPR005:
                 metrics = self._metrics
                 if metrics.enabled:
                     metrics.inc("mac.sent", node=self.name)
+                journey = self._journey
+                if journey.enabled:
+                    journey.record(self.sim.now, self.name, "mac", "tx",
+                                   frame.packet)
             """,
             "mac/extra.py")
         assert report.ok
+
+    def test_guarded_calls_list_is_configurable(self):
+        from repro.lint.config import LintConfig
+
+        config = LintConfig()
+        config.rules["RPR005"]["guarded_calls"] = ["audit.note"]
+        report = lint(
+            """
+            def on_send(self, frame):
+                self.sim.tracer.emit(self.name, "mac", "send")
+                self._audit.note(frame)
+            """,
+            "mac/extra.py", config=config)
+        findings = [v for v in report.violations if v.rule_id == "RPR005"]
+        assert len(findings) == 1
+        assert "audit" in findings[0].message
 
     def test_early_return_guard_is_clean(self):
         report = lint(

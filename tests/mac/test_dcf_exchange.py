@@ -214,6 +214,28 @@ def test_queue_overflow_counted():
     assert mac.stats.queue_drops >= 1
 
 
+def test_queue_drop_metric_is_labelled_by_queue_kind():
+    from repro.obs.metrics import MetricsRegistry
+
+    sim = Simulator(seed=42)
+    sim.metrics = MetricsRegistry(enabled=True)
+    channel = WirelessChannel(sim)
+    phy = Phy(sim, channel, position=(0.0, 0.0), name="solo")
+    config = MacConfig(address=MacAddress.node(1), unicast_rate=RATES.by_mbps(1.3),
+                       queue_capacity=1)
+    mac = AggregatingMac(sim, phy, config, policy=broadcast_aggregation(),
+                         name="solo-mac")
+    for _ in range(3):
+        mac.enqueue(tcp_data(), MacAddress.node(2))
+        mac.enqueue(Packet.broadcast_control(IpAddress("10.0.0.1"),
+                                             payload_bytes=64), BROADCAST_MAC)
+    counters = {(c["name"], c["labels"].get("kind")): c["value"]
+                for c in sim.metrics.snapshot()["counters"]
+                if c["name"] == "mac.queue_drops"}
+    assert counters[("mac.queue_drops", "unicast")] == 2
+    assert counters[("mac.queue_drops", "broadcast")] == 2
+
+
 def test_unreachable_destination_gives_up_after_retry_limit():
     sim = Simulator(seed=43)
     channel = WirelessChannel(sim)

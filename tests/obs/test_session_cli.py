@@ -169,6 +169,40 @@ def test_cli_run_writes_all_exports(tmp_path, capsys):
     assert json.loads(out_path.read_text())
 
 
+def test_cli_journey_export_flow_report_and_audit(tmp_path, capsys):
+    journey_path = tmp_path / "journeys.json"
+    trace_path = tmp_path / "timeline.json"
+    exit_code = obs_main([
+        "run", "fig09", "--seed", "1",
+        "--set", "rates_mbps=(0.65,)",
+        "--set", "flooding_intervals=(0.5,)", "--set", "duration=2.0",
+        "--journey-out", str(journey_path),
+        "--trace-out", str(trace_path),
+        "--flow", "10.0.0.1,10.0.0.3",
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "packet journey(s)" in output
+    assert "flow 10.0.0.1 -> 10.0.0.3" in output
+    assert "conservation audit: balanced on every node" in output
+
+    document = json.loads(journey_path.read_text())
+    for sim in document["simulations"]:
+        assert sim["audit"]["balanced"]
+        assert sim["journeys"] and sim["flows"]
+    # With journeys on, the timeline gains s/t/f flow-arrow events.
+    trace = json.loads(trace_path.read_text())
+    phases = {e["ph"] for e in trace["traceEvents"]}
+    assert {"s", "t", "f"} <= phases
+
+
+def test_cli_flow_requires_src_comma_dst(capsys):
+    exit_code = obs_main(["run", "fig09", "--journey-out", "/dev/null",
+                          "--flow", "nocomma"])
+    assert exit_code == 2
+    assert "--flow expects SRC,DST" in capsys.readouterr().err
+
+
 def test_cli_unknown_experiment_is_an_error(capsys):
     exit_code = obs_main(["run", "does-not-exist", "--trace-out", "/dev/null"])
     assert exit_code == 2
