@@ -43,6 +43,11 @@ def _table02():
     return table02_udp_unicast.run
 
 
+def _city01():
+    from repro.experiments import city01_scale
+    return city01_scale.run
+
+
 CANONICAL_SCENARIOS: Dict[str, BenchScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -67,6 +72,20 @@ CANONICAL_SCENARIOS: Dict[str, BenchScenario] = {
             loader=_table02,
             params={"rates_mbps": (0.65, 1.3), "duration": UDP_DURATION},
             quick_params={"rates_mbps": (1.3,), "duration": 3.0},
+        ),
+        # The city run is the spatial index's reason to exist: thousands of
+        # PHYs on one channel, where a full scan would be O(N) per frame.
+        # Both tiers keep the 2,000-node point so the trajectory tracks the
+        # indexed cost at the scale the acceptance gate cares about.
+        BenchScenario(
+            name="city01_scale",
+            loader=_city01,
+            params={"node_counts": (500, 1000, 2000),
+                    "protocols": ("flooding", "aodv"), "flow_count": 100,
+                    "duration": 2.0, "warmup": 0.5},
+            quick_params={"node_counts": (2000,),
+                          "protocols": ("flooding", "aodv"), "flow_count": 100,
+                          "duration": 2.0, "warmup": 0.5},
         ),
     )
 }

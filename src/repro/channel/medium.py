@@ -22,14 +22,27 @@ revalidates the cached entry against the exact positions and the model's
 while a link whose endpoint moved (or whose shadowing epoch rolled over)
 recomputes — so results are bit-for-bit identical with the memo on or off
 (``link_budget_memo=False`` disables it for A/B verification).
+
+Candidate enumeration scales past tens of nodes through the ``spatial_index=``
+policy: ``"scan"`` budgets every registered PHY per frame (O(N), the seed
+behaviour), ``"grid"`` asks a :class:`~repro.channel.spatial.UniformGridIndex`
+for the PHYs within the propagation model's conservative ``max_range_m``
+cutoff (O(neighbours)), and ``"auto"`` — the default — switches from scan to
+grid above :data:`AUTO_SPATIAL_THRESHOLD` registered PHYs.  All modes cull
+deliveries below the receiver's detect floor before scheduling them, so the
+scheduled event set (and therefore every byte of a run) is identical across
+modes; ``tests/integration/test_spatial_determinism.py`` is the differential
+proof.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.channel.propagation import PropagationModel, distance_between, hydra_indoor_propagation
+from repro.channel.spatial import UniformGridIndex
 from repro.errors import ConfigurationError
 from repro.phy.frame import PhyFrame
 from repro.sim.events import EventHandle
@@ -44,6 +57,19 @@ SPEED_OF_LIGHT = 299_792_458.0
 #: Prune a receiver's delivery-handle list once it grows past this many
 #: entries (most are long since fired; pruning keeps unregister O(in-flight)).
 _HANDLE_PRUNE_THRESHOLD = 256
+
+#: ``spatial_index="auto"`` keeps the exhaustive scan at or below this many
+#: registered PHYs and switches to the grid index above it.  Crossing the
+#: threshold never changes bytes — both enumerations schedule the identical
+#: event set (see ``broadcast``) — so the constant is a pure speed knob; it
+#: sits far above every paper scenario (≤ 21 nodes) to keep those runs on
+#: the exact code path the committed expectations were produced with.
+AUTO_SPATIAL_THRESHOLD = 64
+
+#: Valid values for the ``spatial_index=`` policy.
+SPATIAL_MODES = ("auto", "scan", "grid")
+
+_UNSET = object()
 
 
 @dataclass(slots=True)
@@ -66,10 +92,13 @@ class WirelessChannel:
     """Single shared broadcast medium connecting all registered PHYs."""
 
     __slots__ = ("sim", "propagation", "noise_floor_dbm",
-                 "propagation_delay_enabled", "_phys", "_phy_ids",
+                 "propagation_delay_enabled", "spatial_index_mode",
+                 "spatial_cell_m", "_phys", "_phy_ids",
                  "_delivery_handles", "_link_aware", "_cache_epoch",
-                 "_budget_cache", "_active", "total_transmissions",
-                 "total_airtime", "_metrics")
+                 "_budget_cache", "_active", "_spatial", "_min_detect_floor",
+                 "_max_tx_power", "_max_range_cache", "total_transmissions",
+                 "total_airtime", "total_candidates", "total_deliveries",
+                 "total_culled", "_metrics")
 
     def __init__(
         self,
@@ -78,7 +107,15 @@ class WirelessChannel:
         noise_floor_dbm: float = -94.0,
         propagation_delay_enabled: bool = True,
         link_budget_memo: bool = True,
+        spatial_index: str = "auto",
+        spatial_cell_m: Optional[float] = None,
     ) -> None:
+        if spatial_index not in SPATIAL_MODES:
+            raise ConfigurationError(
+                f"spatial_index must be one of {SPATIAL_MODES}, got {spatial_index!r}")
+        if spatial_cell_m is not None and spatial_cell_m <= 0:
+            raise ConfigurationError(
+                f"spatial_cell_m must be positive, got {spatial_cell_m}")
         self.sim = sim
         self.propagation = propagation or hydra_indoor_propagation()
         if hasattr(self.propagation, "bind"):
@@ -100,9 +137,25 @@ class WirelessChannel:
             {} if link_budget_memo else None)
         # One transmission per id for O(1) retirement.
         self._active: Dict[int, Transmission] = {}
+        # Spatial candidate pruning: the grid index is built lazily on the
+        # first broadcast that wants it (so registration order — which fixes
+        # candidate order — is complete by then).
+        self.spatial_index_mode = spatial_index
+        self.spatial_cell_m = spatial_cell_m
+        self._spatial: Optional[UniformGridIndex] = None
+        # Running min detect floor / max tx power over every PHY ever
+        # registered.  Kept conservative on unregister (a stale low floor or
+        # high power only widens the pruning range, never narrows it).
+        self._min_detect_floor = math.inf
+        self._max_tx_power = -math.inf
+        # tx power -> conservative max range (None = model can't bound it).
+        self._max_range_cache: Dict[float, Optional[float]] = {}
         # statistics
         self.total_transmissions = 0
         self.total_airtime = 0.0
+        self.total_candidates = 0
+        self.total_deliveries = 0
+        self.total_culled = 0
         self._metrics = sim.metrics
         sim.metrics.register_collector(self._collect_metrics)
 
@@ -110,11 +163,23 @@ class WirelessChannel:
     # Registration
     # ------------------------------------------------------------------
     def register(self, phy: "Phy") -> None:
-        """Attach a PHY to the medium (idempotent)."""
+        """Attach a PHY to the medium (idempotent).
+
+        The pruning bounds (min detect floor, max tx power) are snapshots of
+        the PHY's config taken here; configure thresholds before registering.
+        """
         if id(phy) not in self._phy_ids:
             self._phys.append(phy)
             self._phy_ids.add(id(phy))
             self._delivery_handles[id(phy)] = []
+            floor = phy.config.detect_floor_dbm
+            if floor < self._min_detect_floor:
+                self._min_detect_floor = floor
+                self._max_range_cache.clear()
+            if phy.config.tx_power_dbm > self._max_tx_power:
+                self._max_tx_power = phy.config.tx_power_dbm
+            if self._spatial is not None:
+                self._spatial.register(phy, self.sim.now)
 
     def unregister(self, phy: "Phy") -> None:
         """Detach a PHY from the medium.
@@ -136,12 +201,35 @@ class WirelessChannel:
             stale = [key for key in self._budget_cache if phy_id in key]
             for key in stale:
                 del self._budget_cache[key]
+        if self._spatial is not None:
+            # Purge the grid entry too: a later PHY recycling this one's
+            # id() must never inherit its cell.
+            self._spatial.unregister(phy)
         phy.abort_receptions()
+
+    def phy_position_changed(self, phy: "Phy") -> None:
+        """Hook fired by ``Phy.position``'s setter: re-bucket the PHY.
+
+        No-op for PHYs not (yet) registered — the setter also fires during
+        ``Phy.__init__``, before registration.
+        """
+        if self._spatial is not None and id(phy) in self._phy_ids:
+            self._spatial.position_changed(phy)
+
+    def phy_mobility_changed(self, phy: "Phy") -> None:
+        """Hook fired by ``Phy.set_mobility``: revalidate this PHY per query."""
+        if self._spatial is not None and id(phy) in self._phy_ids:
+            self._spatial.mobility_changed(phy)
 
     @property
     def phys(self) -> List["Phy"]:
         """All PHYs currently attached."""
         return list(self._phys)
+
+    @property
+    def spatial_index(self) -> Optional[UniformGridIndex]:
+        """The grid index, if one has been built (None before first use)."""
+        return self._spatial
 
     # ------------------------------------------------------------------
     # Link budget helpers
@@ -229,6 +317,26 @@ class WirelessChannel:
             metrics.observe("channel.airtime_ms", duration * 1e3,
                             node=sender.name)
 
+        # Candidate enumeration: either the full registration list or the
+        # grid index's superset of in-range PHYs (also in registration
+        # order).  The two enumerations schedule the *identical* event set,
+        # because every receiver the grid prunes is provably below its
+        # detect floor and the loop below culls exactly those receivers in
+        # every mode — so the policy knob changes speed, never bytes.
+        mode = self.spatial_index_mode
+        if mode == "auto":
+            use_grid = len(self._phys) > AUTO_SPATIAL_THRESHOLD
+        else:
+            use_grid = mode == "grid"
+        receivers: List["Phy"] = self._phys
+        if use_grid:
+            reach = self._max_range_for(power_dbm)
+            if reach is not None:
+                spatial = self._ensure_spatial()
+                if spatial is not None:
+                    receivers = spatial.candidates(
+                        sender.position_at(now), reach, now)
+
         # Direct scheduler pushes: this loop schedules two events per
         # receiver per frame, and the Simulator.schedule wrapper (which only
         # adds a negative-delay check — delays here are >= 0 by construction)
@@ -237,11 +345,26 @@ class WirelessChannel:
         priority = Simulator.PRIORITY_PHY
         delay_enabled = self.propagation_delay_enabled
         delivery_handles = self._delivery_handles
-        for receiver in self._phys:
+        considered = 0
+        culled = 0
+        for receiver in receivers:
             if receiver is sender:
                 continue
+            considered += 1
             loss, distance = self._link_budget(sender, receiver, now)
             rx_power = power_dbm - loss
+            config = receiver.config
+            floor = config.carrier_sense_threshold_dbm
+            if config.reception_threshold_dbm < floor:
+                floor = config.reception_threshold_dbm
+            if rx_power < floor:
+                # Below the receiver's detect floor the frame would have no
+                # observable effect (Phy.begin_reception ignores it), so the
+                # two events are never scheduled.  Applied uniformly in scan
+                # and grid modes — this cull, not the index, is what defines
+                # who hears a frame.
+                culled += 1
+                continue
             delay = distance / SPEED_OF_LIGHT if delay_enabled else 0.0
             handles = delivery_handles[id(receiver)]
             handles.append(push(now + delay, receiver.begin_reception,
@@ -250,13 +373,66 @@ class WirelessChannel:
                                 (transmission,), priority))
             if len(handles) > _HANDLE_PRUNE_THRESHOLD:
                 handles[:] = [h for h in handles if h.active]
+        self.total_candidates += considered
+        self.total_culled += culled
+        self.total_deliveries += considered - culled
         return transmission
+
+    def _max_range_for(self, power_dbm: float) -> Optional[float]:
+        """Conservative pruning radius for a transmission at ``power_dbm``.
+
+        ``None`` when the propagation model cannot bound its own reach — the
+        caller then falls back to the exhaustive scan.  Cached per tx power;
+        the cache is invalidated whenever a newly registered PHY lowers the
+        fleet's min detect floor.
+        """
+        cache = self._max_range_cache
+        value = cache.get(power_dbm, _UNSET)
+        if value is _UNSET:
+            bound = getattr(self.propagation, "max_range_m", None)
+            value = (None if bound is None
+                     else bound(power_dbm - self._min_detect_floor))
+            cache[power_dbm] = value
+        return value
+
+    def _ensure_spatial(self) -> Optional[UniformGridIndex]:
+        """Build the grid index on first use (None if the model is unbounded).
+
+        The cell size defaults to the fleet-wide max range (so a query scans
+        at most a 3×3 block of cells); correctness is independent of the
+        choice because ``candidates`` derives the cell span from the exact
+        query radius.  PHYs are inserted in registration order, which fixes
+        candidate ordering forever after.
+        """
+        spatial = self._spatial
+        if spatial is None:
+            cell = self.spatial_cell_m
+            if cell is None:
+                reach = self._max_range_for(self._max_tx_power)
+                if reach is None:
+                    return None
+                cell = max(reach, 1.0)
+            spatial = UniformGridIndex(cell)
+            now = self.sim.now
+            for phy in self._phys:
+                spatial.register(phy, now)
+            self._spatial = spatial
+        return spatial
 
     def _collect_metrics(self, registry) -> None:
         """Snapshot-time collector: medium-wide totals as gauges."""
         registry.set_gauge("channel.total_transmissions", self.total_transmissions)
         registry.set_gauge("channel.total_airtime_s", self.total_airtime)
         registry.set_gauge("channel.registered_phys", len(self._phys))
+        # candidates_considered / (transmissions * registered_phys) is the
+        # sub-O(N) proof: with the grid index it collapses to the mean
+        # neighbourhood size instead of N.
+        registry.set_gauge("channel.candidates_considered", self.total_candidates)
+        registry.set_gauge("channel.deliveries_scheduled", self.total_deliveries)
+        registry.set_gauge("channel.culled_below_floor", self.total_culled)
+        registry.set_gauge(
+            "channel.spatial_cells",
+            0 if self._spatial is None else self._spatial.cell_count)
 
     def _prune_active(self, now: float) -> None:
         """Retire transmissions whose airtime has elapsed.

@@ -50,6 +50,22 @@ class LinkAwarePropagationModel(Protocol):
         """Path loss in dB on the ``tx_key`` → ``rx_key`` link at ``time``."""
 
 
+class RangeBoundedPropagationModel(Protocol):
+    """A propagation model that can bound its own reach.
+
+    ``max_range_m(budget_db)`` answers: beyond what distance is the path loss
+    *guaranteed* to exceed ``budget_db``, for every link and at every time?
+    The spatial index (:mod:`repro.channel.spatial`) uses this bound to prune
+    receivers, so it must be conservative — overestimating the range costs
+    performance, underestimating it would change which nodes hear a frame.
+    Models that cannot give such a bound simply omit the method and the
+    channel falls back to scanning every registered PHY.
+    """
+
+    def max_range_m(self, budget_db: float) -> float:
+        """Conservative distance beyond which loss always exceeds the budget."""
+
+
 @dataclass(slots=True)
 class FreeSpacePathLoss:
     """Free-space (Friis) path loss.
@@ -68,6 +84,19 @@ class FreeSpacePathLoss:
             + 20.0 * math.log10(self.frequency_hz)
             - 147.55
         )
+
+    def max_range_m(self, budget_db: float) -> float:
+        """Distance beyond which free-space loss always exceeds ``budget_db``.
+
+        Friis loss is monotonically increasing in distance, so inverting it at
+        the budget gives an exact cutoff; below the clamp distance the loss is
+        constant, so a budget smaller than that floor reaches nobody.
+        """
+        floor_db = self.path_loss_db((0.0, 0.0), (0.0, 0.0))
+        if budget_db < floor_db:
+            return 0.0
+        exponent = (budget_db - 20.0 * math.log10(self.frequency_hz) + 147.55) / 20.0
+        return max(10.0 ** exponent, self.minimum_distance)
 
 
 @dataclass(slots=True)
@@ -91,6 +120,19 @@ class LogDistancePathLoss:
             distance / self.reference_distance
         )
 
+    def max_range_m(self, budget_db: float) -> float:
+        """Distance beyond which log-distance loss always exceeds ``budget_db``.
+
+        The loss is monotonically increasing in distance, so the inversion at
+        the budget is exact; below the clamp distance the loss is constant, so
+        a budget under that floor reaches nobody.
+        """
+        floor_db = self.path_loss_db((0.0, 0.0), (0.0, 0.0))
+        if budget_db < floor_db:
+            return 0.0
+        exponent = (budget_db - self.reference_loss_db) / (10.0 * self.path_loss_exponent)
+        return max(self.reference_distance * 10.0 ** exponent, self.minimum_distance)
+
 
 class LogNormalShadowing:
     """Per-link log-normal shadowing on top of a base path-loss model.
@@ -112,21 +154,34 @@ class LogNormalShadowing:
     construction (see :class:`~repro.channel.medium.WirelessChannel`); using
     the plain position-only ``path_loss_db`` interface returns the base loss
     without shadowing, because link identity is unknown there.
+
+    Shadowing offsets are clamped to ``±max_sigma_factor * sigma_db``.  The
+    truncation makes the model *range-bounded*: ``max_range_m`` can promise
+    that no link's loss is ever more than that margin below the base loss, so
+    the spatial index may prune receivers beyond the widened cutoff without
+    ever excluding one that could hear a frame.  At the default factor of 6
+    a Gaussian draw lands in the clamped tail with probability ~2e-9, so the
+    truncation is unobservable in practice — but the guarantee it buys is
+    absolute, which is what the byte-determinism contract needs.
     """
 
     __slots__ = ("base", "sigma_db", "coherence_time", "symmetric",
-                 "_streams", "_offsets")
+                 "max_sigma_factor", "_streams", "_offsets")
 
     def __init__(self, base: Optional[PropagationModel] = None, sigma_db: float = 6.0,
-                 coherence_time: Optional[float] = None, symmetric: bool = True) -> None:
+                 coherence_time: Optional[float] = None, symmetric: bool = True,
+                 max_sigma_factor: float = 6.0) -> None:
         if sigma_db < 0:
             raise ConfigurationError("sigma_db must be non-negative")
         if coherence_time is not None and coherence_time <= 0:
             raise ConfigurationError("coherence_time must be positive")
+        if max_sigma_factor <= 0:
+            raise ConfigurationError("max_sigma_factor must be positive")
         self.base = base or hydra_indoor_propagation()
         self.sigma_db = sigma_db
         self.coherence_time = coherence_time
         self.symmetric = symmetric
+        self.max_sigma_factor = max_sigma_factor
         self._streams: Optional[RandomStreams] = None
         self._offsets: Dict[Tuple[str, str, int], float] = {}
 
@@ -171,7 +226,9 @@ class LogNormalShadowing:
         cache_key = (a, b, epoch)
         if cache_key not in self._offsets:
             stream = self._streams.stream(f"link.{a}|{b}#epoch{epoch}")
-            self._offsets[cache_key] = stream.gauss(0.0, self.sigma_db)
+            bound = self.max_sigma_factor * self.sigma_db
+            draw = stream.gauss(0.0, self.sigma_db)
+            self._offsets[cache_key] = min(max(draw, -bound), bound)
         return self._offsets[cache_key]
 
     def path_loss_between(self, tx_key: str, rx_key: str, tx_position: Position,
@@ -183,6 +240,20 @@ class LogNormalShadowing:
     def path_loss_db(self, tx_position: Position, rx_position: Position) -> float:
         """Position-only fallback: base loss without shadowing."""
         return self.base.path_loss_db(tx_position, rx_position)
+
+    def max_range_m(self, budget_db: float) -> Optional[float]:
+        """Conservative reach bound: the base model's, widened by the clamp.
+
+        A link's loss is at least ``base - max_sigma_factor * sigma`` (draws
+        are clamped, see the class docstring), so extending the budget by that
+        margin before asking the base model yields a distance beyond which
+        *no* shadowing draw can bring a frame above the detect floor.  Returns
+        ``None`` when the base model cannot bound its own range.
+        """
+        base_bound = getattr(self.base, "max_range_m", None)
+        if base_bound is None:
+            return None
+        return base_bound(budget_db + self.max_sigma_factor * self.sigma_db)
 
 
 def hydra_indoor_propagation() -> LogDistancePathLoss:

@@ -66,6 +66,18 @@ class PhyConfig:
     #: interferers (simple capture model).
     capture_threshold_db: float = 10.0
 
+    @property
+    def detect_floor_dbm(self) -> float:
+        """Weakest received power with any observable effect on this PHY.
+
+        Below both the carrier-sense and reception thresholds a frame cannot
+        be sensed, decoded, or counted — the PHY ignores it entirely (see
+        :meth:`Phy.begin_reception`), which is what lets the channel cull
+        such deliveries before scheduling them without changing a single
+        byte of any run.
+        """
+        return min(self.carrier_sense_threshold_dbm, self.reception_threshold_dbm)
+
 
 @dataclass(slots=True)
 class _ReceptionAttempt:
@@ -89,7 +101,7 @@ class _ReceptionAttempt:
 class Phy:
     """Half-duplex PHY with carrier sensing, capture and subframe decoding."""
 
-    __slots__ = ("sim", "channel", "config", "position", "mobility", "name",
+    __slots__ = ("sim", "channel", "config", "_position", "mobility", "name",
                  "error_model", "_rng", "_listener", "_transmitting",
                  "_current_tx_frame", "_receptions", "_carrier_count",
                  "_carrier_busy_reported", "_noise_cache_dbm",
@@ -108,9 +120,10 @@ class Phy:
         self.sim = sim
         self.channel = channel
         self.config = config or PhyConfig()
-        #: Latest position snapshot; refreshed by mobility update events.
-        #: Link budgets use :meth:`position_at` (exact) instead of this.
-        self.position = position
+        # Direct slot write: the position property's setter notifies the
+        # channel's spatial index, which cannot know this PHY yet (register()
+        # runs at the end of __init__).
+        self._position = position
         self.mobility: Optional["MobilityModel"] = None
         self.name = name
         self.error_model = ErrorModel(self.config.error)
@@ -159,9 +172,29 @@ class Phy:
             raise PhyError(f"{self.name}: a mobility model is already attached")
         self.mobility = model
         model.attach(self)
+        # The spatial index revalidates mobile PHYs against position_at() on
+        # every query; tell the channel this one just became mobile.
+        self.channel.phy_mobility_changed(self)
         if start:
             model.start(stop_time=stop_time)
         return model
+
+    @property
+    def position(self) -> tuple:
+        """Latest position snapshot; refreshed by mobility update events.
+
+        Link budgets use :meth:`position_at` (exact) instead of this.
+        Assigning a new position notifies the channel so its spatial index
+        re-buckets the PHY immediately — a reassigned *static* position has
+        no mobility model to revalidate against, so the setter is the only
+        way the index learns about it.
+        """
+        return self._position
+
+    @position.setter
+    def position(self, value: tuple) -> None:
+        self._position = value
+        self.channel.phy_position_changed(self)
 
     def position_at(self, time: float) -> tuple:
         """Exact position at simulated ``time``.
@@ -239,6 +272,16 @@ class Phy:
     # ------------------------------------------------------------------
     def begin_reception(self, transmission: "Transmission", rx_power_dbm: float) -> None:
         """Called by the channel when a remote transmission starts arriving."""
+        config = self.config
+        if (rx_power_dbm < config.carrier_sense_threshold_dbm
+                and rx_power_dbm < config.reception_threshold_dbm):
+            # Below the detect floor the frame is invisible: no carrier
+            # energy, no reception attempt, no interference contribution, no
+            # counters.  This is the PHY-side half of the conservative-cutoff
+            # contract (docs/DETERMINISM.md): because a sub-floor arrival has
+            # zero observable effect, the channel may skip scheduling it — in
+            # every enumeration mode — without changing any byte of a run.
+            return
         if rx_power_dbm >= self.config.carrier_sense_threshold_dbm:
             self._carrier_count += 1
             self._update_carrier()

@@ -18,6 +18,8 @@ EXPECTED_IDS = {
     "mob01", "mob02",
     # Dynamic-routing experiments (DSDV control plane, PR 4).
     "mob03", "mob04", "rt01", "rt02",
+    # City-scale experiments (spatially indexed medium, PR 10).
+    "city01",
 }
 
 
